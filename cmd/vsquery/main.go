@@ -1,0 +1,143 @@
+// Command vsquery runs VLGPM queries (in the supported openCypher subset)
+// against a stored graph.
+//
+// Usage:
+//
+//	vsquery -data ./data/lastfm \
+//	        -query 'MATCH (p:SIGA)-[:knows*..3]-(q:SIGA) RETURN COUNT(DISTINCT p,q)'
+//	vsquery -data ./data/fin -file tcr1.cypher -param id=1234
+//
+// Parameters given as -param name=value are typed by shape: integers become
+// int64, true/false become bool, comma-separated integers become an int64
+// list (for UNWIND), anything else stays a string.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	vertexsurge "repro"
+	"repro/internal/repl"
+)
+
+type paramFlags map[string]any
+
+// String implements flag.Value.
+func (p paramFlags) String() string { return fmt.Sprint(map[string]any(p)) }
+
+// Set implements flag.Value: it parses one name=value pair.
+func (p paramFlags) Set(s string) error {
+	name, raw, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	p[name] = typedValue(raw)
+	return nil
+}
+
+func typedValue(raw string) any {
+	if n, err := strconv.ParseInt(raw, 10, 64); err == nil {
+		return n
+	}
+	if raw == "true" || raw == "false" {
+		return raw == "true"
+	}
+	if strings.Contains(raw, ",") {
+		parts := strings.Split(raw, ",")
+		ints := make([]int64, 0, len(parts))
+		for _, part := range parts {
+			n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				return raw
+			}
+			ints = append(ints, n)
+		}
+		return ints
+	}
+	return raw
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vsquery: ")
+	params := paramFlags{}
+	var (
+		data        = flag.String("data", "", "graph directory written by vsgen (required)")
+		query       = flag.String("query", "", "query text")
+		file        = flag.String("file", "", "file containing the query")
+		workers     = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		timing      = flag.Bool("timing", false, "print the per-stage breakdown")
+		explain     = flag.Bool("explain", false, "print the query plan instead of executing")
+		interactive = flag.Bool("i", false, "interactive shell (ignores -query/-file)")
+	)
+	flag.Var(params, "param", "query parameter name=value (repeatable)")
+	flag.Parse()
+
+	if *data == "" || (!*interactive && (*query == "") == (*file == "")) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src := *query
+	if *file != "" {
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = string(raw)
+	}
+
+	db, err := vertexsurge.Open(*data, vertexsurge.Options{Workers: *workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *interactive {
+		sh := repl.New(db.Engine(), os.Stdin, os.Stdout)
+		sh.Params = params
+		if err := sh.Run(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *explain {
+		plan, err := db.Explain(src, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(plan)
+		return
+	}
+	start := time.Now()
+	res, err := db.Query(src, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	for i, col := range res.Columns {
+		if i > 0 {
+			fmt.Print("\t")
+		}
+		fmt.Print(col)
+	}
+	fmt.Println()
+	for _, row := range res.Rows {
+		for i, v := range row {
+			if i > 0 {
+				fmt.Print("\t")
+			}
+			fmt.Print(v)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("-- %d row(s) in %s\n", len(res.Rows), elapsed.Round(time.Microsecond))
+	if *timing {
+		tm := res.Timings
+		fmt.Printf("-- scan %s, expand %s, update-visit %s, intersect %s, aggregate %s\n",
+			tm.Scan, tm.Expand, tm.UpdateVisit, tm.Intersect, tm.Aggregate)
+	}
+}

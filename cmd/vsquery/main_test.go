@@ -1,0 +1,49 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTypedValue(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want any
+	}{
+		{"42", int64(42)},
+		{"-7", int64(-7)},
+		{"true", true},
+		{"false", false},
+		{"hello", "hello"},
+		{"1,2,3", []int64{1, 2, 3}},
+		{"1, 2, 3", []int64{1, 2, 3}},
+		{"a,b", "a,b"}, // non-numeric list stays a string
+	}
+	for _, c := range cases {
+		if got := typedValue(c.raw); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("typedValue(%q) = %#v, want %#v", c.raw, got, c.want)
+		}
+	}
+}
+
+func TestParamFlags(t *testing.T) {
+	p := paramFlags{}
+	if err := p.Set("id=42"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("ids=1,2"); err != nil {
+		t.Fatal(err)
+	}
+	if p["id"] != int64(42) {
+		t.Fatalf("id = %#v", p["id"])
+	}
+	if !reflect.DeepEqual(p["ids"], []int64{1, 2}) {
+		t.Fatalf("ids = %#v", p["ids"])
+	}
+	if err := p.Set("malformed"); err == nil {
+		t.Fatal("malformed param accepted")
+	}
+	if p.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,42 @@
+// Command vsserve serves a stored graph as a read-only HTTP query service.
+//
+// Usage:
+//
+//	vsserve -data ./data/lastfm -addr :7474
+//	curl -s localhost:7474/stats
+//	curl -s localhost:7474/query -d '{"query":"MATCH (p:SIGA)-[:knows*..3]-(q:SIGA) RETURN COUNT(DISTINCT p,q)"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/storage"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vsserve: ")
+	var (
+		data    = flag.String("data", "", "graph directory written by vsgen (required)")
+		addr    = flag.String("addr", ":7474", "listen address")
+		workers = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := storage.Open(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := engine.New(g, engine.Options{Workers: *workers})
+	fmt.Printf("serving %s (|V|=%d |E|=%d) on %s\n", *data, g.NumVertices(), g.NumEdges(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(eng)))
+}

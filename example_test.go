@@ -1,0 +1,84 @@
+package vertexsurge_test
+
+import (
+	"fmt"
+	"log"
+
+	vertexsurge "repro"
+)
+
+// buildExampleGraph assembles the paper's §2.1 example social network.
+func buildExampleGraph() *vertexsurge.Graph {
+	b := vertexsurge.NewGraphBuilder(6)
+	for v := 0; v < 6; v++ {
+		b.SetLabel(vertexsurge.VertexID(v), "Person")
+	}
+	b.SetLabel(0, "SIGA").SetLabel(1, "SIGA")
+	b.SetLabel(2, "SIGB")
+	b.SetLabel(3, "SIGC").SetLabel(4, "SIGC")
+	b.SetProp("id", vertexsurge.Int64Column{1000, 1001, 1002, 1003, 1004, 1005})
+	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {2, 4}, {3, 5}} {
+		b.AddEdge("knows", e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+// ExampleDB_Query runs the paper's community-triangle query (Figure 2a)
+// through the openCypher subset.
+func ExampleDB_Query() {
+	db := vertexsurge.FromGraph(buildExampleGraph(), vertexsurge.Options{})
+	res, err := db.Query(`
+		MATCH (a:Person:SIGA)-[:knows*1..2]-(b:Person:SIGB)
+		MATCH (b)-[:knows*1..2]-(c:Person:SIGC)
+		MATCH (a)-[:knows*1..2]-(c)
+		RETURN COUNT(DISTINCT a,b,c)`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Rows[0][0])
+	// Output: 2
+}
+
+// ExampleDB_Expand computes reachability with the VExpand operator
+// directly: which vertices are within 1..2 undirected hops of vertex 0,
+// and at what distance.
+func ExampleDB_Expand() {
+	db := vertexsurge.FromGraph(buildExampleGraph(), vertexsurge.Options{})
+	reach, err := db.Expand([]vertexsurge.VertexID{0}, vertexsurge.Determiner{
+		KMin: 1, KMax: 2, Dir: vertexsurge.Both,
+		Type: vertexsurge.Shortest, EdgeLabels: []string{"knows"},
+	}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range reach.Reach.RowBits(0) {
+		dist, _ := reach.MinLength(0, vertexsurge.VertexID(v))
+		fmt.Printf("vertex %d at distance %d\n", v, dist)
+	}
+	// Output:
+	// vertex 1 at distance 1
+	// vertex 2 at distance 2
+}
+
+// ExampleDB_Match runs a typed pattern and prints the matched tuples.
+func ExampleDB_Match() {
+	db := vertexsurge.FromGraph(buildExampleGraph(), vertexsurge.Options{})
+	d := vertexsurge.Determiner{KMin: 1, KMax: 2, Dir: vertexsurge.Both,
+		Type: vertexsurge.Any, EdgeLabels: []string{"knows"}}
+	res, err := db.Match(&vertexsurge.Pattern{
+		Vertices: []vertexsurge.PatternVertex{
+			{Name: "b", Labels: []string{"SIGB"}},
+			{Name: "c", Labels: []string{"SIGC"}},
+		},
+		Edges: []vertexsurge.PatternEdge{{Src: "b", Dst: "c", D: d}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(res.Tuples), "pairs")
+	// Output: 2 pairs
+}

@@ -1,0 +1,100 @@
+// frauddetect runs the paper's financial-fraud workload (Cases 8–12, the
+// LDBC FinBench TCR queries) on a generated FinBench-schema graph: tracing
+// funds from blocked sign-in mediums, from loans, finding suspicious
+// middle accounts, and measuring transfer distances.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	vertexsurge "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Float64("scale", 0.01, "dataset scale relative to LDBC-FinBench-SF10")
+	flag.Parse()
+
+	db, err := vertexsurge.Generate("LDBC-FinBench-SF10", *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := db.Graph()
+	fmt.Printf("financial graph: %d vertices, %d edges (%d accounts, %d loans, %d mediums)\n",
+		g.NumVertices(), g.NumEdges(),
+		g.Label("Account").PopCount(), g.Label("Loan").PopCount(), g.Label("Medium").PopCount())
+
+	ids := g.Prop("id").(vertexsurge.Int64Column)
+	accounts := g.LabelVertices("Account")
+	loans := g.LabelVertices("Loan")
+	eng := db.Engine()
+
+	// TCR1 (Case 8): accounts within 3 transfers of a start account that
+	// were ever signed in by a blocked medium.
+	start := ids[accounts[len(accounts)/3]]
+	tcr1, _, err := eng.Case8(start, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTCR1 — blocked-medium accounts within 3 transfers of account %d: %d\n", start, len(tcr1))
+	for i, nd := range tcr1 {
+		if i == 5 {
+			fmt.Println("  …")
+			break
+		}
+		fmt.Printf("  account %d at distance %d\n", nd.ID, nd.Distance)
+	}
+
+	// TCR2 (Case 9): funds gathered from loan-backed accounts. Find a
+	// person who owns an account first.
+	own := g.Edges("own")
+	var personID int64
+	for _, p := range g.LabelVertices("Person") {
+		if len(own.Neighbors(p, vertexsurge.Forward)) > 0 {
+			personID = ids[p]
+			break
+		}
+	}
+	tcr2, _, err := eng.Case9(personID, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTCR2 — loan-funded accounts transferring into person %d's accounts: %d\n", personID, len(tcr2))
+	for i, agg := range tcr2 {
+		if i == 5 {
+			fmt.Println("  …")
+			break
+		}
+		fmt.Printf("  account %d: %d loan(s), balance sum %.1f\n", agg.OtherID, agg.LoanCount, agg.BalanceSum)
+	}
+
+	// TCR3 (Case 10): shortest transfer path between two accounts —
+	// via the Cypher subset this time.
+	a, b := ids[accounts[1]], ids[accounts[len(accounts)-2]]
+	res, err := db.Query(`MATCH (a:Account{id:$id1}), (b:Account{id:$id2}),
+		p=shortestPath((a)-[:transfer*1..]->(b)) RETURN length(p)`,
+		map[string]any{"id1": a, "id2": b})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTCR3 — shortest transfer path %d → %d: %v hop(s)\n", a, b, res.Rows[0][0])
+
+	// TCR6 (Case 11): middle accounts collecting money then withdrawing
+	// to the target.
+	tcr6, _, err := eng.Case11(start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTCR6 — (middle, source) pairs funneling into account %d: %d\n", start, len(tcr6))
+
+	// TCR8 (Case 12): trace transfers/withdrawals for 3 steps from the
+	// account a loan was deposited into.
+	loanID := ids[loans[len(loans)/2]]
+	tcr8, _, err := eng.Case12(loanID, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTCR8 — accounts reached within 3 steps of loan %d's deposit: %d\n", loanID, len(tcr8))
+}

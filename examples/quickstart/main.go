@@ -1,0 +1,88 @@
+// Quickstart: build a tiny property graph, run a variable-length pattern
+// query through the Cypher subset and through the typed API, and use the
+// VExpand operator directly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vertexsurge "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The paper's running example (§2.1): a small social network with
+	// three communities, where friendships may be indirect.
+	b := vertexsurge.NewGraphBuilder(6)
+	names := []string{"ana", "bob", "cat", "dan", "eve", "fox"}
+	communities := map[int]string{0: "SIGA", 1: "SIGA", 2: "SIGB", 3: "SIGC", 4: "SIGC"}
+	ids := make([]int64, 6)
+	for v := 0; v < 6; v++ {
+		b.SetLabel(vertexsurge.VertexID(v), "Person")
+		if c, ok := communities[v]; ok {
+			b.SetLabel(vertexsurge.VertexID(v), c)
+		}
+		ids[v] = int64(1000 + v)
+	}
+	b.SetProp("id", vertexsurge.Int64Column(ids))
+	b.SetProp("name", vertexsurge.StringColumn(names))
+	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {2, 4}, {3, 5}} {
+		b.AddEdge("knows", e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := vertexsurge.FromGraph(g, vertexsurge.Options{})
+
+	// 1. The community triangle (Figure 2a) via the Cypher subset.
+	res, err := db.Query(`
+		MATCH (a:Person:SIGA)-[:knows*1..2]-(b:Person:SIGB)
+		MATCH (b)-[:knows*1..2]-(c:Person:SIGC)
+		MATCH (a)-[:knows*1..2]-(c)
+		RETURN COUNT(DISTINCT a,b,c)`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("community triangles within 2 hops: %v\n", res.Rows[0][0])
+
+	// 2. The same pattern through the typed API, materialized.
+	d := vertexsurge.Determiner{
+		KMin: 1, KMax: 2, Dir: vertexsurge.Both, Type: vertexsurge.Any,
+		EdgeLabels: []string{"knows"},
+	}
+	pat := &vertexsurge.Pattern{
+		Vertices: []vertexsurge.PatternVertex{
+			{Name: "a", Labels: []string{"SIGA"}},
+			{Name: "b", Labels: []string{"SIGB"}},
+			{Name: "c", Labels: []string{"SIGC"}},
+		},
+		Edges: []vertexsurge.PatternEdge{
+			{Src: "a", Dst: "b", D: d},
+			{Src: "b", Dst: "c", D: d},
+			{Src: "a", Dst: "c", D: d},
+		},
+	}
+	match, err := db.Match(pat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tup := range match.Tuples {
+		fmt.Printf("  triangle: %s - %s - %s\n", names[tup[0]], names[tup[1]], names[tup[2]])
+	}
+
+	// 3. VExpand directly: who can ana reach within 1..3 hops, and how far?
+	reach, err := db.Expand([]vertexsurge.VertexID{0},
+		vertexsurge.Determiner{KMin: 1, KMax: 3, Dir: vertexsurge.Both,
+			Type: vertexsurge.Shortest, EdgeLabels: []string{"knows"}}, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ana reaches:")
+	for _, v := range reach.Reach.RowBits(0) {
+		dist, _ := reach.MinLength(0, vertexsurge.VertexID(v))
+		fmt.Printf("  %s at distance %d\n", names[v], dist)
+	}
+}

@@ -1,0 +1,118 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the VertexSurge paper's evaluation (§6) on the synthetic
+// stand-in datasets. Each experiment returns structured rows (for tests
+// and the testing.B benchmarks) and can print itself in the paper's shape.
+//
+// Absolute numbers differ from the paper — the substrate here is pure Go
+// on scaled-down synthetic data (see DESIGN.md, "Substitutions") — but
+// each experiment's *shape* is the reproduction target: who wins, how
+// costs grow with k_max, where time is spent.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// Config parameterizes the harness.
+type Config struct {
+	// Scale multiplies Table 1's dataset sizes (1.0 = paper size).
+	Scale float64
+	// Workers bounds engine parallelism; 0 = GOMAXPROCS.
+	Workers int
+	// Budget caps baseline intermediate tuples (the timeout stand-in);
+	// 0 = baseline.DefaultBudget.
+	Budget int64
+}
+
+// DefaultConfig runs every experiment in seconds on a laptop.
+func DefaultConfig() Config {
+	return Config{Scale: 0.02, Budget: 20_000_000}
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 0.02
+	}
+	return c.Scale
+}
+
+// Timeout marks a baseline that exceeded its budget, the analogue of the
+// paper's 10-minute timeout.
+const Timeout = time.Duration(-1)
+
+func fmtDur(d time.Duration) string {
+	if d == Timeout {
+		return "timeout"
+	}
+	if d < 0 {
+		return "n/a"
+	}
+	return d.Round(time.Microsecond).String()
+}
+
+// dataset caches generated graphs per (name, scale) within one harness run.
+type datasets struct {
+	cfg   Config
+	cache map[string]*datagen.Dataset
+}
+
+func newDatasets(cfg Config) *datasets {
+	return &datasets{cfg: cfg, cache: map[string]*datagen.Dataset{}}
+}
+
+func (d *datasets) get(name string) (*datagen.Dataset, error) {
+	if ds, ok := d.cache[name]; ok {
+		return ds, nil
+	}
+	ds, err := datagen.Generate(name, d.cfg.scale())
+	if err != nil {
+		return nil, err
+	}
+	d.cache[name] = ds
+	return ds, nil
+}
+
+func (d *datasets) engine(name string) (*engine.Engine, *datagen.Dataset, error) {
+	ds, err := d.get(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return engine.New(ds.Graph, engine.Options{Workers: d.cfg.Workers}), ds, nil
+}
+
+// timed runs fn and returns its duration, mapping budget exhaustion to
+// Timeout.
+func timed(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	if errors.Is(err, baseline.ErrBudgetExceeded) {
+		return Timeout, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+func knowsDet(kmax int) pattern.Determiner {
+	return pattern.Determiner{KMin: 1, KMax: kmax, Dir: graph.Both, Type: pattern.Any,
+		EdgeLabels: []string{"knows"}}
+}
+
+// header prints an underlined section title.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	for range title {
+		fmt.Fprint(w, "=")
+	}
+	fmt.Fprintln(w)
+}

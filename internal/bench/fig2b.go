@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/baseline"
+)
+
+// Fig2bRow is one k_max point of Figure 2b: the community-triangle count
+// and each system's execution time on the LastFM-scale graph.
+type Fig2bRow struct {
+	KMax        int
+	Count       int64
+	VertexSurge time.Duration
+	Join        time.Duration // Kuzu/TigerGraph stand-in
+	GPM         time.Duration // Peregrine stand-in
+}
+
+// Fig2b reproduces Figure 2b: the community triangle query on LastFM with
+// k_max from 1 to maxK. The baselines' time explodes with the result count
+// while VertexSurge stays flat.
+func Fig2b(cfg Config, maxK int) ([]Fig2bRow, error) {
+	ds := newDatasets(cfg)
+	eng, d, err := ds.engine("LastFM")
+	if err != nil {
+		return nil, err
+	}
+	g := d.Graph
+	j := baseline.NewJoinEngine(g)
+	j.Budget = cfg.Budget
+	p := baseline.NewGPMEngine(g)
+	p.Budget = cfg.Budget
+
+	aC := g.LabelVertices("SIGA")
+	bC := g.LabelVertices("SIGB")
+	cC := g.LabelVertices("SIGC")
+
+	var rows []Fig2bRow
+	// Warm-up (§6.2): one untimed run builds the Hilbert COO and indexes.
+	if _, _, err := eng.Case4(1); err != nil {
+		return nil, err
+	}
+	for kmax := 1; kmax <= maxK; kmax++ {
+		row := Fig2bRow{KMax: kmax}
+		det := knowsDet(kmax)
+
+		tVS, err := timed(func() error {
+			count, _, err := eng.Case4(kmax)
+			row.Count = count
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.VertexSurge = tVS
+
+		row.Join, err = timed(func() error {
+			_, _, err := j.CountTriangle(aC, bC, cC, det, det, det)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.GPM, err = timed(func() error {
+			_, _, err := p.CountTriangle(aC, bC, cC, det)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig2b renders Figure 2b's data.
+func PrintFig2b(w io.Writer, rows []Fig2bRow) {
+	header(w, "Figure 2b — community triangle on LastFM vs k_max")
+	fmt.Fprintf(w, "%-6s %-12s %-14s %-14s %-14s\n", "k_max", "triangles", "VertexSurge", "Join(Kuzu/TG)", "GPM(Peregrine)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6d %-12d %-14s %-14s %-14s\n",
+			r.KMax, r.Count, fmtDur(r.VertexSurge), fmtDur(r.Join), fmtDur(r.GPM))
+	}
+}

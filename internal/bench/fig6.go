@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// Fig6SocialDatasets are the social graphs Figure 6 runs Cases 1–5 on by
+// default. The paper also runs LDBC-SN-SF1000, LiveJournal, and
+// Twitter2010; pass them explicitly (with a small Scale) to include them.
+var Fig6SocialDatasets = []string{"LastFM", "Epinions", "LDBC-SN-SF100"}
+
+// Fig6Cell is one (case, dataset) measurement.
+type Fig6Cell struct {
+	Case        int
+	Dataset     string
+	VertexSurge time.Duration
+	Join        time.Duration // Timeout or -2 (n/a) possible
+	GPM         time.Duration
+}
+
+// notRun marks a system that does not support a case (the paper skips
+// Peregrine on directed/multi-label FinBench cases).
+const notRun = time.Duration(-2)
+
+// Fig6 regenerates Figure 6: the twelve evaluation cases across datasets
+// for VertexSurge, the join baseline, and the GPM baseline.
+func Fig6(cfg Config, socialDatasets []string) ([]Fig6Cell, error) {
+	if socialDatasets == nil {
+		socialDatasets = Fig6SocialDatasets
+	}
+	var cells []Fig6Cell
+	ds := newDatasets(cfg)
+
+	for _, name := range socialDatasets {
+		eng, d, err := ds.engine(name)
+		if err != nil {
+			return nil, err
+		}
+		cs, err := socialCells(cfg, eng, d)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		cells = append(cells, cs...)
+	}
+
+	eng, d, err := ds.engine("Rabobank")
+	if err != nil {
+		return nil, err
+	}
+	cs, err := bankCells(cfg, eng, d)
+	if err != nil {
+		return nil, fmt.Errorf("bench: Rabobank: %w", err)
+	}
+	cells = append(cells, cs...)
+
+	eng, d, err = ds.engine("LDBC-FinBench-SF10")
+	if err != nil {
+		return nil, err
+	}
+	cs, err = finCells(cfg, eng, d)
+	if err != nil {
+		return nil, fmt.Errorf("bench: FinBench: %w", err)
+	}
+	cells = append(cells, cs...)
+	return cells, nil
+}
+
+func socialCells(cfg Config, eng *engine.Engine, d *datagen.Dataset) ([]Fig6Cell, error) {
+	g := d.Graph
+	jc := newJoinCases(g, cfg.Budget)
+	gp := baseline.NewGPMEngine(g)
+	gp.Budget = cfg.Budget
+	cp := paramsFor(d)
+	const kmax = 3
+
+	type sys struct {
+		vs, join, gpm func() error
+	}
+	cases := map[int]sys{
+		1: {
+			vs:   func() error { _, _, err := eng.Case1(kmax); return err },
+			join: func() error { _, err := jc.case1(kmax); return err },
+			gpm: func() error {
+				siga := g.LabelVertices("SIGA")
+				_, _, err := gp.CountPairs(siga, siga, knowsDet(kmax))
+				return err
+			},
+		},
+		2: {
+			vs:   func() error { _, _, err := eng.Case2(kmax, 100); return err },
+			join: func() error { _, err := jc.case2(kmax, 100); return err },
+		},
+		3: {
+			vs:   func() error { _, _, err := eng.Case3(kmax, 100); return err },
+			join: func() error { _, err := jc.case3(kmax, 100); return err },
+		},
+		4: {
+			vs:   func() error { _, _, err := eng.Case4(2); return err },
+			join: func() error { _, err := jc.case4(2); return err },
+			gpm: func() error {
+				_, _, err := gp.CountTriangle(g.LabelVertices("SIGA"), g.LabelVertices("SIGB"),
+					g.LabelVertices("SIGC"), knowsDet(2))
+				return err
+			},
+		},
+		5: {
+			vs:   func() error { _, _, err := eng.Case5(cp.personIDs, kmax); return err },
+			join: func() error { _, err := jc.case5(cp.personIDs, kmax); return err },
+		},
+	}
+	var cells []Fig6Cell
+	for c := 1; c <= 5; c++ {
+		cell, err := runCell(c, d.Name, cases[c].vs, cases[c].join, cases[c].gpm)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+func bankCells(cfg Config, eng *engine.Engine, d *datagen.Dataset) ([]Fig6Cell, error) {
+	g := d.Graph
+	jc := newJoinCases(g, cfg.Budget)
+	gp := baseline.NewGPMEngine(g)
+	gp.Budget = cfg.Budget
+	cp := paramsFor(d)
+
+	c6, err := runCell(6, d.Name,
+		func() error { _, _, err := eng.Case6(6); return err },
+		func() error { _, err := jc.case6(6); return err },
+		func() error {
+			risk := g.LabelVertices("RISKA")
+			det := pattern.Determiner{KMin: 1, KMax: 6, Dir: graph.Forward, Type: pattern.Any,
+				EdgeLabels: []string{"transfer"}}
+			_, _, err := gp.CountPairs(risk, risk, det)
+			return err
+		})
+	if err != nil {
+		return nil, err
+	}
+	c7, err := runCell(7, d.Name,
+		func() error { _, _, err := eng.Case7(cp.accountID, 3); return err },
+		func() error { _, err := jc.case7(cp.accountID, 3); return err },
+		func() error {
+			src, _ := g.FindByInt64("id", cp.accountID)
+			det := pattern.Determiner{KMin: 1, KMax: 3, Dir: graph.Forward, Type: pattern.Any,
+				EdgeLabels: []string{"transfer"}}
+			_, _, err := gp.CountReachFrom(src, g.LabelVertices("Account"), det)
+			return err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return []Fig6Cell{c6, c7}, nil
+}
+
+func finCells(cfg Config, eng *engine.Engine, d *datagen.Dataset) ([]Fig6Cell, error) {
+	jc := newJoinCases(d.Graph, cfg.Budget)
+	cp := paramsFor(d)
+	specs := []struct {
+		num      int
+		vs, join func() error
+	}{
+		{8,
+			func() error { _, _, err := eng.Case8(cp.accountID, 3); return err },
+			func() error { _, err := jc.case8(cp.accountID, 3); return err }},
+		{9,
+			func() error { _, _, err := eng.Case9(cp.personID, 3); return err },
+			func() error { _, err := jc.case9(cp.personID, 3); return err }},
+		{10,
+			func() error { _, _, err := eng.Case10(cp.pairA, cp.pairB); return err },
+			func() error { _, err := jc.case10(cp.pairA, cp.pairB); return err }},
+		{11,
+			func() error { _, _, err := eng.Case11(cp.accountID); return err },
+			func() error { _, err := jc.case11(cp.accountID); return err }},
+		{12,
+			func() error { _, _, err := eng.Case12(cp.loanID, 3); return err },
+			func() error { _, err := jc.case12(cp.loanID, 3); return err }},
+	}
+	var cells []Fig6Cell
+	for _, s := range specs {
+		// The paper skips Peregrine on FinBench (no directed edges or
+		// multiple edge labels in its implementation).
+		cell, err := runCell(s.num, d.Name, s.vs, s.join, nil)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+func runCell(num int, dataset string, vs, join, gpm func() error) (Fig6Cell, error) {
+	cell := Fig6Cell{Case: num, Dataset: dataset, Join: notRun, GPM: notRun}
+	// Warm-up run (§6.2), so one-time costs (Hilbert edge ordering,
+	// property indexes) are not charged to the measurement.
+	if err := vs(); err != nil {
+		return cell, err
+	}
+	t, err := timed(vs)
+	if err != nil {
+		return cell, err
+	}
+	cell.VertexSurge = t
+	if join != nil {
+		if cell.Join, err = timed(join); err != nil {
+			return cell, err
+		}
+	}
+	if gpm != nil {
+		if cell.GPM, err = timed(gpm); err != nil {
+			return cell, err
+		}
+	}
+	return cell, nil
+}
+
+// PrintFig6 renders Figure 6's grid.
+func PrintFig6(w io.Writer, cells []Fig6Cell) {
+	header(w, "Figure 6 — cases 1–12 across datasets and systems")
+	fmt.Fprintf(w, "%-20s %-6s %-14s %-14s %-14s %-10s\n",
+		"Dataset", "Case", "VertexSurge", "Join(Kuzu/TG)", "GPM(Peregrine)", "speedup")
+	for _, c := range cells {
+		speedup := "-"
+		best := c.Join
+		if c.GPM >= 0 && (best < 0 || c.GPM < best) {
+			best = c.GPM
+		}
+		if best > 0 && c.VertexSurge > 0 {
+			speedup = fmt.Sprintf("%.1fx", float64(best)/float64(c.VertexSurge))
+		}
+		fmt.Fprintf(w, "%-20s C%-5d %-14s %-14s %-14s %-10s\n",
+			c.Dataset, c.Case, fmtDur(c.VertexSurge), fmtDur(c.Join), fmtDur(c.GPM), speedup)
+	}
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/engine"
+)
+
+// Fig8Row is one case's per-stage time breakdown.
+type Fig8Row struct {
+	Case    int
+	Dataset string
+	Timings engine.Timings
+}
+
+// Fig8 regenerates Figure 8: the per-component execution-time breakdown of
+// every case. The paper's shape: Expand averages ≈35% on Cases 1–5, <10%
+// on 6–7 (Rabobank's small edge count), and ANY-type Cases 11–12 spend no
+// time in UpdateVisit.
+func Fig8(cfg Config) ([]Fig8Row, error) {
+	ds := newDatasets(cfg)
+	var rows []Fig8Row
+
+	engSN, dSN, err := ds.engine("LDBC-SN-SF100")
+	if err != nil {
+		return nil, err
+	}
+	cpSN := paramsFor(dSN)
+	const kmax = 3
+	social := []struct {
+		num int
+		run func() (engine.Timings, error)
+	}{
+		{1, func() (engine.Timings, error) { _, tm, err := engSN.Case1(kmax); return tm, err }},
+		{2, func() (engine.Timings, error) { _, tm, err := engSN.Case2(kmax, 100); return tm, err }},
+		{3, func() (engine.Timings, error) { _, tm, err := engSN.Case3(kmax, 100); return tm, err }},
+		{4, func() (engine.Timings, error) { _, tm, err := engSN.Case4(2); return tm, err }},
+		{5, func() (engine.Timings, error) { _, tm, err := engSN.Case5(cpSN.personIDs, kmax); return tm, err }},
+	}
+	for _, s := range social {
+		if _, err := s.run(); err != nil { // warm-up (§6.2)
+			return nil, err
+		}
+		tm, err := s.run()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig8Row{Case: s.num, Dataset: dSN.Name, Timings: tm})
+	}
+
+	engRB, dRB, err := ds.engine("Rabobank")
+	if err != nil {
+		return nil, err
+	}
+	cpRB := paramsFor(dRB)
+	if _, _, err := engRB.Case6(6); err != nil { // warm-up
+		return nil, err
+	}
+	if _, tm, err := engRB.Case6(6); err == nil {
+		rows = append(rows, Fig8Row{Case: 6, Dataset: dRB.Name, Timings: tm})
+	} else {
+		return nil, err
+	}
+	if _, tm, err := engRB.Case7(cpRB.accountID, 3); err == nil {
+		rows = append(rows, Fig8Row{Case: 7, Dataset: dRB.Name, Timings: tm})
+	} else {
+		return nil, err
+	}
+
+	engFB, dFB, err := ds.engine("LDBC-FinBench-SF10")
+	if err != nil {
+		return nil, err
+	}
+	cpFB := paramsFor(dFB)
+	fin := []struct {
+		num int
+		run func() (engine.Timings, error)
+	}{
+		{8, func() (engine.Timings, error) { _, tm, err := engFB.Case8(cpFB.accountID, 3); return tm, err }},
+		{9, func() (engine.Timings, error) { _, tm, err := engFB.Case9(cpFB.personID, 3); return tm, err }},
+		{10, func() (engine.Timings, error) { _, tm, err := engFB.Case10(cpFB.pairA, cpFB.pairB); return tm, err }},
+		{11, func() (engine.Timings, error) { _, tm, err := engFB.Case11(cpFB.accountID); return tm, err }},
+		{12, func() (engine.Timings, error) { _, tm, err := engFB.Case12(cpFB.loanID, 3); return tm, err }},
+	}
+	for _, s := range fin {
+		if _, err := s.run(); err != nil { // warm-up
+			return nil, err
+		}
+		tm, err := s.run()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig8Row{Case: s.num, Dataset: dFB.Name, Timings: tm})
+	}
+	return rows, nil
+}
+
+// PrintFig8 renders Figure 8's stacked percentages.
+func PrintFig8(w io.Writer, rows []Fig8Row) {
+	header(w, "Figure 8 — per-stage time breakdown (% of total)")
+	fmt.Fprintf(w, "%-6s %-20s %8s %8s %12s %10s %10s %8s %12s\n",
+		"Case", "Dataset", "Scan", "Expand", "UpdateVisit", "Intersect", "Aggregate", "Other", "Total")
+	for _, r := range rows {
+		tm := r.Timings
+		pct := func(x float64) string {
+			if tm.Total <= 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f%%", 100*x/float64(tm.Total))
+		}
+		fmt.Fprintf(w, "C%-5d %-20s %8s %8s %12s %10s %10s %8s %12s\n",
+			r.Case, r.Dataset,
+			pct(float64(tm.Scan)), pct(float64(tm.Expand)), pct(float64(tm.UpdateVisit)),
+			pct(float64(tm.Intersect)), pct(float64(tm.Aggregate)), pct(float64(tm.Other())),
+			fmtDur(tm.Total))
+	}
+}

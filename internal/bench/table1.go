@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/datagen"
+)
+
+// Table1Row describes one dataset: the paper's reported size and the
+// generated stand-in's size at the configured scale.
+type Table1Row struct {
+	Name             string
+	Kind             string
+	PaperV, PaperE   int
+	GenV, GenE       int
+	Ratio            float64 // |E|/|V| of the generated graph
+	SizeBytes        int64
+	VertexLabelCount int
+	EdgeLabelCount   int
+}
+
+// Table1 regenerates Table 1: the dataset inventory, with both the
+// paper-reported sizes and the generated stand-ins.
+func Table1(cfg Config) ([]Table1Row, error) {
+	ds := newDatasets(cfg)
+	var rows []Table1Row
+	for _, name := range datagen.Table1Names() {
+		pv, pe, err := datagen.Table1Size(name)
+		if err != nil {
+			return nil, err
+		}
+		d, err := ds.get(name)
+		if err != nil {
+			return nil, err
+		}
+		g := d.Graph
+		rows = append(rows, Table1Row{
+			Name:   name,
+			Kind:   d.Kind,
+			PaperV: pv, PaperE: pe,
+			GenV: g.NumVertices(), GenE: g.NumEdges(),
+			Ratio:            float64(g.NumEdges()) / float64(g.NumVertices()),
+			SizeBytes:        g.SizeBytes(),
+			VertexLabelCount: len(g.VertexLabels()),
+			EdgeLabelCount:   len(g.EdgeLabels()),
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders Table 1.
+func PrintTable1(w io.Writer, cfg Config, rows []Table1Row) {
+	header(w, fmt.Sprintf("Table 1 — datasets (generated at scale %g of the paper's sizes)", cfg.scale()))
+	fmt.Fprintf(w, "%-20s %-10s %12s %14s %12s %12s %8s %12s\n",
+		"Dataset", "Kind", "paper |V|", "paper |E|", "|V|", "|E|", "|E|/|V|", "Size")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %-10s %12d %14d %12d %12d %8.2f %12s\n",
+			r.Name, r.Kind, r.PaperV, r.PaperE, r.GenV, r.GenE, r.Ratio, fmtBytes(r.SizeBytes))
+	}
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

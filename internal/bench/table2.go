@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/graph"
+	"repro/internal/vexpand"
+)
+
+// Table2Row compares join vs expand intermediate-result counts at one
+// k_max.
+type Table2Row struct {
+	KMax int
+	// Join is the number of flat tuples a join plan materializes (walks,
+	// counted by dynamic programming).
+	Join float64
+	// Expand is VExpand's intermediate bit count (distinct (source, dst)
+	// pairs per step).
+	Expand int64
+	// Ratio = Join / Expand (the paper reports 1 / 1.52 / 8.51).
+	Ratio float64
+	// FlatBytes and MatrixBytes compare the flat 64-bit-tuple memory a
+	// join plan needs against the bit-matrix memory (the paper reports
+	// a 66× reduction at k_max = 3).
+	FlatBytes   int64
+	MatrixBytes int64
+	MemRatio    float64
+}
+
+// Table2Sources is the paper's source-set size for the single-VExpand
+// microbenchmark (§6.3); it is scaled with the dataset.
+const Table2Sources = 20480
+
+// Table2 regenerates Table 2: intermediate result counts of the join
+// method vs the expand method on the LDBC-SN-SF1000-scale graph, k_max
+// 1..maxK, expanding from a Table2Sources-proportional source set.
+func Table2(cfg Config, maxK int) ([]Table2Row, error) {
+	ds := newDatasets(cfg)
+	d, err := ds.get("LDBC-SN-SF1000")
+	if err != nil {
+		return nil, err
+	}
+	g := d.Graph
+	numSources := int(float64(Table2Sources) * cfg.scale())
+	if numSources < 64 {
+		numSources = 64
+	}
+	if numSources > g.NumVertices() {
+		numSources = g.NumVertices()
+	}
+	sources := make([]graph.VertexID, numSources)
+	for i := range sources {
+		sources[i] = graph.VertexID(i)
+	}
+	j := baseline.NewJoinEngine(g)
+
+	var rows []Table2Row
+	for k := 1; k <= maxK; k++ {
+		det := knowsDet(k)
+		joinCount, err := j.WalkCountDP(sources, det)
+		if err != nil {
+			return nil, err
+		}
+		r, err := vexpand.Expand(g, sources, det, vexpand.Options{
+			Kernel: vexpand.Hilbert, Workers: cfg.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{
+			KMax:        k,
+			Join:        joinCount,
+			Expand:      r.Stats.IntermediateResults,
+			FlatBytes:   int64(joinCount * 16), // two uncompressed 64-bit ints per tuple (§4.1)
+			MatrixBytes: r.Stats.MatrixBytes,
+		}
+		if row.Expand > 0 {
+			row.Ratio = row.Join / float64(row.Expand)
+		}
+		if row.MatrixBytes > 0 {
+			row.MemRatio = float64(row.FlatBytes) / float64(row.MatrixBytes)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable2 renders Table 2.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	header(w, "Table 2 — intermediate results: Join vs Expand (LDBC-SN-SF1000 scale)")
+	fmt.Fprintf(w, "%-6s %14s %14s %12s %12s %14s %10s\n",
+		"k_max", "Join", "Expand", "Join/Expand", "flat mem", "bitmatrix mem", "mem ratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6d %14.3g %14d %12.2f %12s %14s %10.1fx\n",
+			r.KMax, r.Join, r.Expand, r.Ratio,
+			fmtBytes(r.FlatBytes), fmtBytes(r.MatrixBytes), r.MemRatio)
+	}
+}

@@ -1,0 +1,162 @@
+package bitmatrix
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bitmap is a flat fixed-size bit set over [0, Len).
+//
+// It backs BFS frontiers and visited sets in the per-source expand kernel,
+// label-membership sets in the graph store, and candidate sets in the
+// planner. The zero value is an empty 0-length bitmap; use NewBitmap.
+type Bitmap struct {
+	n     int
+	words []uint64
+}
+
+// NewBitmap returns an all-zero bitmap over [0, n).
+func NewBitmap(n int) *Bitmap {
+	if n < 0 {
+		panic(fmt.Sprintf("bitmatrix: invalid bitmap length %d", n))
+	}
+	return &Bitmap{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of addressable bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Words exposes the raw backing words.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+// SizeBytes returns the memory footprint of the bit storage in bytes.
+func (b *Bitmap) SizeBytes() int { return len(b.words) * 8 }
+
+// Set sets bit i.
+func (b *Bitmap) Set(i int) {
+	b.check(i)
+	b.words[i/64] |= 1 << uint(i%64)
+}
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int) {
+	b.check(i)
+	b.words[i/64] &^= 1 << uint(i%64)
+}
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool {
+	b.check(i)
+	return b.words[i/64]&(1<<uint(i%64)) != 0
+}
+
+func (b *Bitmap) check(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitmatrix: bitmap index %d out of range %d", i, b.n))
+	}
+}
+
+// Or computes b |= other. Lengths must match.
+func (b *Bitmap) Or(other *Bitmap) {
+	b.lenCheck(other)
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// And computes b &= other. Lengths must match.
+func (b *Bitmap) And(other *Bitmap) {
+	b.lenCheck(other)
+	for i, w := range other.words {
+		b.words[i] &= w
+	}
+}
+
+// AndNot computes b &^= other. Lengths must match.
+func (b *Bitmap) AndNot(other *Bitmap) {
+	b.lenCheck(other)
+	for i, w := range other.words {
+		b.words[i] &^= w
+	}
+}
+
+func (b *Bitmap) lenCheck(other *Bitmap) {
+	if b.n != other.n {
+		panic(fmt.Sprintf("bitmatrix: bitmap length mismatch %d vs %d", b.n, other.n))
+	}
+}
+
+// Reset zeroes every bit, retaining the allocation.
+func (b *Bitmap) Reset() {
+	clear(b.words)
+}
+
+// Clone returns a deep copy.
+func (b *Bitmap) Clone() *Bitmap {
+	c := &Bitmap{n: b.n, words: make([]uint64, len(b.words))}
+	copy(c.words, b.words)
+	return c
+}
+
+// CopyFrom overwrites b's bits with other's. Lengths must match.
+func (b *Bitmap) CopyFrom(other *Bitmap) {
+	b.lenCheck(other)
+	copy(b.words, other.words)
+}
+
+// Equal reports whether b and other have the same length and bits.
+func (b *Bitmap) Equal(other *Bitmap) bool {
+	if b.n != other.n {
+		return false
+	}
+	for i, w := range b.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PopCount returns the number of set bits.
+func (b *Bitmap) PopCount() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Any reports whether any bit is set.
+func (b *Bitmap) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for every set bit, in ascending order.
+func (b *Bitmap) ForEach(fn func(i int)) {
+	for wi, word := range b.words {
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			fn(wi*64 + tz)
+			word &= word - 1
+		}
+	}
+}
+
+// Bits returns the set bits as a sorted slice.
+func (b *Bitmap) Bits() []int {
+	out := make([]int, 0, b.PopCount())
+	b.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// FillFrom sets every bit listed in ids.
+func (b *Bitmap) FillFrom(ids []uint32) {
+	for _, id := range ids {
+		b.Set(int(id))
+	}
+}

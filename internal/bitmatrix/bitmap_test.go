@@ -1,0 +1,199 @@
+package bitmatrix
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		if b.Get(i) {
+			t.Fatalf("fresh bitmap has bit %d", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("Set(%d) not observed", i)
+		}
+	}
+	if got := b.PopCount(); got != 5 {
+		t.Fatalf("PopCount = %d, want 5", got)
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatal("Clear(64) not observed")
+	}
+	if got, want := b.Bits(), []int{0, 63, 127, 129}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Bits = %v, want %v", got, want)
+	}
+}
+
+func TestBitmapBoundsPanic(t *testing.T) {
+	b := NewBitmap(8)
+	for _, i := range []int{-1, 8, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", i)
+				}
+			}()
+			b.Get(i)
+		}()
+	}
+}
+
+func TestBitmapNegativeLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBitmap(-1) did not panic")
+		}
+	}()
+	NewBitmap(-1)
+}
+
+func TestBitmapSetOps(t *testing.T) {
+	a := NewBitmap(200)
+	b := NewBitmap(200)
+	for i := 0; i < 200; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 200; i += 3 {
+		b.Set(i)
+	}
+
+	or := a.Clone()
+	or.Or(b)
+	and := a.Clone()
+	and.And(b)
+	andNot := a.Clone()
+	andNot.AndNot(b)
+
+	for i := 0; i < 200; i++ {
+		ai, bi := i%2 == 0, i%3 == 0
+		if or.Get(i) != (ai || bi) {
+			t.Fatalf("Or mismatch at %d", i)
+		}
+		if and.Get(i) != (ai && bi) {
+			t.Fatalf("And mismatch at %d", i)
+		}
+		if andNot.Get(i) != (ai && !bi) {
+			t.Fatalf("AndNot mismatch at %d", i)
+		}
+	}
+}
+
+func TestBitmapLenMismatchPanics(t *testing.T) {
+	a := NewBitmap(10)
+	b := NewBitmap(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Or with mismatched lengths did not panic")
+		}
+	}()
+	a.Or(b)
+}
+
+func TestBitmapCloneCopyEqualReset(t *testing.T) {
+	a := NewBitmap(77)
+	a.Set(5)
+	a.Set(76)
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	c.Set(6)
+	if a.Equal(c) {
+		t.Fatal("clone aliases original")
+	}
+	d := NewBitmap(77)
+	d.CopyFrom(a)
+	if !d.Equal(a) {
+		t.Fatal("CopyFrom differs")
+	}
+	if a.Equal(NewBitmap(78)) {
+		t.Fatal("Equal true across lengths")
+	}
+	a.Reset()
+	if a.Any() {
+		t.Fatal("Reset left bits")
+	}
+}
+
+func TestBitmapForEachOrder(t *testing.T) {
+	b := NewBitmap(300)
+	want := []int{1, 64, 65, 128, 299}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ForEach order = %v, want %v", got, want)
+	}
+}
+
+func TestBitmapFillFrom(t *testing.T) {
+	b := NewBitmap(50)
+	b.FillFrom([]uint32{3, 7, 49, 3})
+	if got, want := b.Bits(), []int{3, 7, 49}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Bits = %v, want %v", got, want)
+	}
+}
+
+// Property: Bits() round-trips through FillFrom.
+func TestQuickBitmapRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 2000
+		b := NewBitmap(n)
+		want := map[int]bool{}
+		ids := make([]uint32, 0, len(raw))
+		for _, x := range raw {
+			id := uint32(x) % n
+			ids = append(ids, id)
+			want[int(id)] = true
+		}
+		b.FillFrom(ids)
+		got := b.Bits()
+		if len(got) != len(want) {
+			return false
+		}
+		for _, i := range got {
+			if !want[i] {
+				return false
+			}
+		}
+		return b.PopCount() == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a AndNot a is empty; a Or a equals a.
+func TestQuickBitmapIdempotence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewBitmap(500)
+		for i := 0; i < 500; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+		}
+		self := a.Clone()
+		self.Or(a)
+		if !self.Equal(a) {
+			return false
+		}
+		empty := a.Clone()
+		empty.AndNot(a)
+		return !empty.Any()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

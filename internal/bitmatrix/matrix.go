@@ -1,0 +1,340 @@
+// Package bitmatrix implements the dense bit matrices used by VertexSurge.
+//
+// The central type is Matrix, a bit matrix stored in the paper's "stacked
+// columnar major" format (§4.2): rows are partitioned into stacks of 512, and
+// within each stack the 512 bits of one column are stored contiguously as
+// eight 64-bit words — exactly one cache line. Expanding one edge (k → j)
+// for all 512 sources of a stack is then a single column-wide OR
+// (OrColumnFrom), the Go equivalent of the paper's VPORD-based or_column.
+//
+// The package also provides Bitmap, a flat 1-D bit set used for BFS
+// frontiers, visited sets, and label membership.
+package bitmatrix
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const (
+	// StackRows is the number of rows per stack. The paper packs 512 rows
+	// so that one column of one stack is a 64-byte cache line.
+	StackRows = 512
+	// WordsPerColumn is the number of 64-bit words holding one column of
+	// one stack.
+	WordsPerColumn = StackRows / 64
+)
+
+// Matrix is a dense bit matrix in stacked columnar-major layout.
+//
+// Conceptually it has Rows × Cols bits. Physically the rows are grouped into
+// ceil(Rows/512) stacks; within stack s, the bits of column c occupy the
+// eight consecutive words starting at word index (s*Cols+c)*8. Bit r of a
+// column (0 ≤ r < 512) lives in word r/64 at bit position r%64.
+//
+// The zero value is an empty 0×0 matrix; use New to create a sized one.
+type Matrix struct {
+	rows   int
+	cols   int
+	stacks int
+	words  []uint64
+}
+
+// New returns an all-zero matrix with the given number of rows and columns.
+// It panics if either dimension is negative.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("bitmatrix: invalid dimensions %d×%d", rows, cols))
+	}
+	stacks := (rows + StackRows - 1) / StackRows
+	return &Matrix{
+		rows:   rows,
+		cols:   cols,
+		stacks: stacks,
+		words:  make([]uint64, stacks*cols*WordsPerColumn),
+	}
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Stacks returns the number of 512-row stacks.
+func (m *Matrix) Stacks() int { return m.stacks }
+
+// SizeBytes returns the memory footprint of the bit storage in bytes.
+func (m *Matrix) SizeBytes() int { return len(m.words) * 8 }
+
+// Words exposes the raw backing words. It is intended for kernels and
+// serialization; the layout is documented on Matrix.
+func (m *Matrix) Words() []uint64 { return m.words }
+
+// columnBase returns the word index of the first word of column c in stack s.
+func (m *Matrix) columnBase(stack, c int) int {
+	return (stack*m.cols + c) * WordsPerColumn
+}
+
+// ColumnWords returns the eight words of column c within stack s as a
+// mutable slice view.
+func (m *Matrix) ColumnWords(stack, c int) []uint64 {
+	base := m.columnBase(stack, c)
+	return m.words[base : base+WordsPerColumn : base+WordsPerColumn]
+}
+
+// Set sets bit (r, c) to 1.
+func (m *Matrix) Set(r, c int) {
+	m.boundsCheck(r, c)
+	stack, off := r/StackRows, r%StackRows
+	m.words[m.columnBase(stack, c)+off/64] |= 1 << uint(off%64)
+}
+
+// Clear sets bit (r, c) to 0.
+func (m *Matrix) Clear(r, c int) {
+	m.boundsCheck(r, c)
+	stack, off := r/StackRows, r%StackRows
+	m.words[m.columnBase(stack, c)+off/64] &^= 1 << uint(off%64)
+}
+
+// Get reports whether bit (r, c) is 1.
+func (m *Matrix) Get(r, c int) bool {
+	m.boundsCheck(r, c)
+	stack, off := r/StackRows, r%StackRows
+	return m.words[m.columnBase(stack, c)+off/64]&(1<<uint(off%64)) != 0
+}
+
+func (m *Matrix) boundsCheck(r, c int) {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		panic(fmt.Sprintf("bitmatrix: index (%d,%d) out of range %d×%d", r, c, m.rows, m.cols))
+	}
+}
+
+// OrColumnFrom ORs column srcCol of src (within the given stack) into column
+// dstCol of m. Both matrices must have the same number of stacks. This is
+// the or_column primitive of §4.2: one call replaces up to 512 set_bit
+// operations.
+func (m *Matrix) OrColumnFrom(src *Matrix, stack, srcCol, dstCol int) {
+	d := m.words[m.columnBase(stack, dstCol):]
+	s := src.words[src.columnBase(stack, srcCol):]
+	// Eight explicit word ORs: the stand-in for a single VPORD on AVX-512.
+	d[0] |= s[0]
+	d[1] |= s[1]
+	d[2] |= s[2]
+	d[3] |= s[3]
+	d[4] |= s[4]
+	d[5] |= s[5]
+	d[6] |= s[6]
+	d[7] |= s[7]
+}
+
+// TouchColumn reads one word of column c in the given stack and returns it.
+// It is the software-prefetch stand-in: a demand load of the first word
+// pulls the column's cache line, as the paper's prefetcht0 would.
+func (m *Matrix) TouchColumn(stack, c int) uint64 {
+	return m.words[m.columnBase(stack, c)]
+}
+
+// Or computes m |= other element-wise. The matrices must have identical
+// dimensions.
+func (m *Matrix) Or(other *Matrix) {
+	m.dimCheck(other)
+	for i, w := range other.words {
+		m.words[i] |= w
+	}
+}
+
+// And computes m &= other element-wise.
+func (m *Matrix) And(other *Matrix) {
+	m.dimCheck(other)
+	for i, w := range other.words {
+		m.words[i] &= w
+	}
+}
+
+// AndNot computes m &^= other element-wise. It is used to exclude visited
+// vertices from a freshly expanded frontier (SHORTEST semantics, §4).
+func (m *Matrix) AndNot(other *Matrix) {
+	m.dimCheck(other)
+	for i, w := range other.words {
+		m.words[i] &^= w
+	}
+}
+
+// Xor computes m ^= other element-wise (the paper's VPXORD use case).
+func (m *Matrix) Xor(other *Matrix) {
+	m.dimCheck(other)
+	for i, w := range other.words {
+		m.words[i] ^= w
+	}
+}
+
+func (m *Matrix) dimCheck(other *Matrix) {
+	if m.rows != other.rows || m.cols != other.cols {
+		panic(fmt.Sprintf("bitmatrix: dimension mismatch %d×%d vs %d×%d",
+			m.rows, m.cols, other.rows, other.cols))
+	}
+}
+
+// Reset zeroes every bit, retaining the allocation.
+func (m *Matrix) Reset() {
+	clear(m.words)
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{rows: m.rows, cols: m.cols, stacks: m.stacks, words: make([]uint64, len(m.words))}
+	copy(c.words, m.words)
+	return c
+}
+
+// CopyFrom overwrites m's bits with other's. Dimensions must match.
+func (m *Matrix) CopyFrom(other *Matrix) {
+	m.dimCheck(other)
+	copy(m.words, other.words)
+}
+
+// Equal reports whether m and other have the same dimensions and bits.
+func (m *Matrix) Equal(other *Matrix) bool {
+	if m.rows != other.rows || m.cols != other.cols {
+		return false
+	}
+	for i, w := range m.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PopCount returns the total number of set bits. Ghost rows (padding beyond
+// Rows in the final stack) are never set by the exported mutators, so no
+// masking is needed.
+func (m *Matrix) PopCount() int {
+	n := 0
+	for _, w := range m.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Any reports whether any bit is set.
+func (m *Matrix) Any() bool {
+	for _, w := range m.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ColumnPopCount returns the number of set bits in column c across all
+// stacks.
+func (m *Matrix) ColumnPopCount(c int) int {
+	n := 0
+	for s := 0; s < m.stacks; s++ {
+		base := m.columnBase(s, c)
+		for w := 0; w < WordsPerColumn; w++ {
+			n += bits.OnesCount64(m.words[base+w])
+		}
+	}
+	return n
+}
+
+// RowPopCounts returns, for every row, the number of set bits in that row.
+// It runs in time proportional to the number of set bits plus the number of
+// column words, never materializing a transpose.
+func (m *Matrix) RowPopCounts() []int {
+	counts := make([]int, m.rows)
+	for s := 0; s < m.stacks; s++ {
+		rowBase := s * StackRows
+		for c := 0; c < m.cols; c++ {
+			base := m.columnBase(s, c)
+			for w := 0; w < WordsPerColumn; w++ {
+				word := m.words[base+w]
+				for word != 0 {
+					tz := bits.TrailingZeros64(word)
+					counts[rowBase+w*64+tz]++
+					word &= word - 1
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// ForEachInColumn calls fn for every set row of column c, in increasing row
+// order, using trailing-zero scanning (the paper's ctz loop).
+func (m *Matrix) ForEachInColumn(c int, fn func(row int)) {
+	for s := 0; s < m.stacks; s++ {
+		base := m.columnBase(s, c)
+		rowBase := s * StackRows
+		for w := 0; w < WordsPerColumn; w++ {
+			word := m.words[base+w]
+			for word != 0 {
+				tz := bits.TrailingZeros64(word)
+				fn(rowBase + w*64 + tz)
+				word &= word - 1
+			}
+		}
+	}
+}
+
+// ForEachSet calls fn for every set bit, in column-major order within each
+// stack (ascending stack, then column, then row).
+func (m *Matrix) ForEachSet(fn func(row, col int)) {
+	for s := 0; s < m.stacks; s++ {
+		rowBase := s * StackRows
+		for c := 0; c < m.cols; c++ {
+			base := m.columnBase(s, c)
+			for w := 0; w < WordsPerColumn; w++ {
+				word := m.words[base+w]
+				for word != 0 {
+					tz := bits.TrailingZeros64(word)
+					fn(rowBase+w*64+tz, c)
+					word &= word - 1
+				}
+			}
+		}
+	}
+}
+
+// RowBits returns the set columns of row r as a slice, in ascending order.
+// It scans every column and is intended for result extraction and tests,
+// not inner loops.
+func (m *Matrix) RowBits(r int) []int {
+	var out []int
+	stack, off := r/StackRows, r%StackRows
+	w, mask := off/64, uint64(1)<<uint(off%64)
+	for c := 0; c < m.cols; c++ {
+		if m.words[m.columnBase(stack, c)+w]&mask != 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ColumnBits returns the set rows of column c as a slice, in ascending order.
+func (m *Matrix) ColumnBits(c int) []int {
+	var out []int
+	m.ForEachInColumn(c, func(row int) { out = append(out, row) })
+	return out
+}
+
+// String renders the matrix as rows of 0/1 characters. Intended only for
+// debugging small matrices.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < m.cols; c++ {
+			if m.Get(r, c) {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

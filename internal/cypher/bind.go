@@ -1,0 +1,366 @@
+package cypher
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// Result is a query's output table.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+	Timings engine.Timings
+}
+
+// Run executes a parsed query against eng with the given parameters.
+// Parameter values may be int64/int/string/bool; UNWIND parameters must be
+// slices ([]int64 or []any).
+func Run(eng *engine.Engine, q *Query, params map[string]any) (*Result, error) {
+	if q.Unwind == nil {
+		return runOnce(eng, q, params)
+	}
+	raw, ok := params[q.Unwind.Param]
+	if !ok {
+		return nil, fmt.Errorf("cypher: missing parameter $%s", q.Unwind.Param)
+	}
+	values, err := toList(raw)
+	if err != nil {
+		return nil, fmt.Errorf("cypher: parameter $%s: %w", q.Unwind.Param, err)
+	}
+	var out *Result
+	for _, v := range values {
+		sub := make(map[string]any, len(params)+1)
+		for k, val := range params {
+			sub[k] = val
+		}
+		sub[q.Unwind.Alias] = v
+		r, err := runOnce(eng, q, sub)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = &Result{Columns: r.Columns}
+		}
+		out.Rows = append(out.Rows, r.Rows...)
+		out.Timings.Add(r.Timings)
+	}
+	if out == nil {
+		out = &Result{}
+	}
+	return out, nil
+}
+
+func toList(raw any) ([]any, error) {
+	switch v := raw.(type) {
+	case []any:
+		return v, nil
+	case []int64:
+		out := make([]any, len(v))
+		for i, x := range v {
+			out[i] = x
+		}
+		return out, nil
+	case []int:
+		out := make([]any, len(v))
+		for i, x := range v {
+			out[i] = int64(x)
+		}
+		return out, nil
+	case []string:
+		out := make([]any, len(v))
+		for i, x := range v {
+			out[i] = x
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("not a list (%T)", raw)
+	}
+}
+
+// boundQuery is the query lowered onto a concrete pattern.
+type boundQuery struct {
+	pat *pattern.Pattern
+	// varIdx maps variable name -> pattern vertex index.
+	varIdx map[string]int
+	// paths maps path variables to their (single) relationship for
+	// length() evaluation.
+	paths map[string]boundPath
+	// shortest holds a shortestPath part's endpoints if present.
+	shortest *boundPath
+}
+
+type boundPath struct {
+	srcVar, dstVar string
+	d              pattern.Determiner
+}
+
+// bind lowers the AST onto a pattern.Pattern, resolving parameters.
+func bind(q *Query, params map[string]any) (*boundQuery, error) {
+	b := &boundQuery{
+		pat:    &pattern.Pattern{},
+		varIdx: map[string]int{},
+		paths:  map[string]boundPath{},
+	}
+	anon := 0
+	getVertex := func(n *NodePattern) (int, error) {
+		name := n.Var
+		if name == "" {
+			name = fmt.Sprintf("_anon%d", anon)
+			anon++
+		}
+		idx, ok := b.varIdx[name]
+		if !ok {
+			idx = len(b.pat.Vertices)
+			b.varIdx[name] = idx
+			b.pat.Vertices = append(b.pat.Vertices, pattern.Vertex{Name: name, PropEq: map[string]any{}})
+		}
+		v := &b.pat.Vertices[idx]
+		for _, l := range n.Labels {
+			if !contains(v.Labels, l) {
+				v.Labels = append(v.Labels, l)
+			}
+		}
+		for key, lit := range n.Props {
+			val, err := lit.Resolve(params)
+			if err != nil {
+				return 0, err
+			}
+			v.PropEq[key] = val
+		}
+		return idx, nil
+	}
+
+	for _, part := range q.Parts {
+		idxs := make([]int, len(part.Nodes))
+		for i, n := range part.Nodes {
+			idx, err := getVertex(n)
+			if err != nil {
+				return nil, err
+			}
+			idxs[i] = idx
+		}
+		for i, r := range part.Rels {
+			d := pattern.Determiner{
+				KMin:       r.KMin,
+				KMax:       r.KMax,
+				EdgeLabels: r.Types,
+				Type:       pattern.Any,
+			}
+			if len(r.Props) > 0 {
+				d.EdgePropEq = make(map[string]any, len(r.Props))
+				for key, lit := range r.Props {
+					val, err := lit.Resolve(params)
+					if err != nil {
+						return nil, err
+					}
+					d.EdgePropEq[key] = val
+				}
+			}
+			switch {
+			case r.ArrowRight:
+				d.Dir = graph.Forward
+			case r.ArrowLeft:
+				d.Dir = graph.Reverse
+			default:
+				d.Dir = graph.Both
+			}
+			if part.Shortest {
+				d.Type = pattern.Shortest
+			}
+			if d.KMax == pattern.Unbounded && !part.Shortest {
+				return nil, fmt.Errorf("cypher: unbounded variable length requires shortestPath")
+			}
+			src, dst := b.pat.Vertices[idxs[i]].Name, b.pat.Vertices[idxs[i+1]].Name
+			bp := boundPath{srcVar: src, dstVar: dst, d: d}
+			if part.PathVar != "" && len(part.Rels) == 1 {
+				b.paths[part.PathVar] = bp
+			}
+			if r.Var != "" {
+				b.paths[r.Var] = bp
+			}
+			if part.Shortest {
+				b.shortest = &bp
+				// shortestPath parts contribute the length() value, not
+				// a pattern edge (the endpoints are already constrained
+				// by their own node patterns).
+				continue
+			}
+			b.pat.Edges = append(b.pat.Edges, pattern.Edge{Src: src, Dst: dst, D: d})
+		}
+	}
+
+	// WHERE predicates fold into vertex constraints.
+	for _, pred := range q.Where {
+		idx, ok := b.varIdx[pred.Var]
+		if !ok {
+			return nil, fmt.Errorf("cypher: WHERE references unknown variable %q", pred.Var)
+		}
+		v := &b.pat.Vertices[idx]
+		switch pred.Kind {
+		case PredHasLabel:
+			if pred.Negated {
+				v.NotLabels = append(v.NotLabels, pred.Label)
+			} else if !contains(v.Labels, pred.Label) {
+				v.Labels = append(v.Labels, pred.Label)
+			}
+		case PredPropEq:
+			val, err := pred.Value.Resolve(params)
+			if err != nil {
+				return nil, err
+			}
+			op := pred.Op
+			if pred.Negated {
+				op = negateCmp(op)
+			}
+			if op == pattern.CmpEq {
+				v.PropEq[pred.Prop] = val
+			} else {
+				v.PropCmp = append(v.PropCmp, pattern.PropFilter{Prop: pred.Prop, Op: op, Value: val})
+			}
+		}
+	}
+	return b, nil
+}
+
+// negateCmp returns the operator whose truth is the negation of op's.
+func negateCmp(op pattern.CmpOp) pattern.CmpOp {
+	switch op {
+	case pattern.CmpEq:
+		return pattern.CmpNe
+	case pattern.CmpNe:
+		return pattern.CmpEq
+	case pattern.CmpLt:
+		return pattern.CmpGe
+	case pattern.CmpLe:
+		return pattern.CmpGt
+	case pattern.CmpGt:
+		return pattern.CmpLe
+	default:
+		return pattern.CmpLt
+	}
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// runOnce executes the query with fully resolved parameters.
+func runOnce(eng *engine.Engine, q *Query, params map[string]any) (*Result, error) {
+	b, err := bind(q, params)
+	if err != nil {
+		return nil, err
+	}
+
+	// shortestPath-only query: RETURN length(p).
+	if b.shortest != nil && len(b.pat.Edges) == 0 {
+		return runShortest(eng, q, b, params)
+	}
+	if b.shortest != nil {
+		return nil, fmt.Errorf("cypher: shortestPath mixed with other pattern edges is not supported")
+	}
+
+	columns := make([]string, len(q.Return))
+	for i, item := range q.Return {
+		columns[i] = item.Column()
+	}
+
+	// Fast path: a single COUNT(DISTINCT …) over plain variables covering
+	// the whole pattern — the engine counts without materializing.
+	if len(q.Return) == 1 && q.Return[0].Agg == "count" && q.Return[0].Distinct &&
+		allPlainVars(q.Return[0].Args) && len(q.Return[0].Args) == len(b.pat.Vertices) && q.Unwind == nil {
+		res, err := eng.Match(b.pat, engine.MatchOptions{CountOnly: true})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Columns: columns, Rows: [][]any{{res.Count}}, Timings: res.Timings}, nil
+	}
+
+	res, err := eng.Match(b.pat, engine.MatchOptions{})
+	if err != nil {
+		return nil, err
+	}
+	rows, err := project(eng, q, b, params, res)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Columns: columns, Rows: rows, Timings: res.Timings}
+	if err := orderAndLimit(out, q); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func allPlainVars(args []Expr) bool {
+	for _, a := range args {
+		if a.IsLength || a.Prop != "" {
+			return false
+		}
+	}
+	return true
+}
+
+func runShortest(eng *engine.Engine, q *Query, b *boundQuery, params map[string]any) (*Result, error) {
+	sp := b.shortest
+	srcIdx, dstIdx := b.varIdx[sp.srcVar], b.varIdx[sp.dstVar]
+	srcCands, err := pattern.Candidates(eng.Graph(), b.pat.Vertices[srcIdx])
+	if err != nil {
+		return nil, err
+	}
+	dstCands, err := pattern.Candidates(eng.Graph(), b.pat.Vertices[dstIdx])
+	if err != nil {
+		return nil, err
+	}
+	if srcCands.PopCount() != 1 || dstCands.PopCount() != 1 {
+		return nil, fmt.Errorf("cypher: shortestPath requires uniquely identified endpoints")
+	}
+	src := graph.VertexID(srcCands.Bits()[0])
+	dst := graph.VertexID(dstCands.Bits()[0])
+	l, tm, err := shortestVia(eng, src, dst, sp.d)
+	if err != nil {
+		return nil, err
+	}
+	columns := make([]string, len(q.Return))
+	row := make([]any, len(q.Return))
+	for i, item := range q.Return {
+		columns[i] = item.Column()
+		if len(item.Args) == 1 && item.Args[0].IsLength {
+			row[i] = int64(l)
+		} else {
+			return nil, fmt.Errorf("cypher: shortestPath queries may only return length(p)")
+		}
+	}
+	return &Result{Columns: columns, Rows: [][]any{row}, Timings: tm}, nil
+}
+
+func shortestVia(eng *engine.Engine, src, dst graph.VertexID, d pattern.Determiner) (int, engine.Timings, error) {
+	var tm engine.Timings
+	l, err := eng.ShortestPathLength(src, dst, d.EdgeLabels, d.Dir)
+	if err != nil {
+		return -1, tm, err
+	}
+	if l >= 0 && (l < d.KMin || (d.KMax != pattern.Unbounded && l > d.KMax)) {
+		l = -1
+	}
+	return l, tm, nil
+}
+
+// ExplainQuery binds a parsed query's pattern against the engine's graph
+// and renders the planner's decisions without executing.
+func ExplainQuery(eng *engine.Engine, q *Query, params map[string]any) (string, error) {
+	b, err := bind(q, params)
+	if err != nil {
+		return "", err
+	}
+	if b.shortest != nil {
+		return "shortestPath query: frontier BFS with early exit (no join plan)\n", nil
+	}
+	return eng.Explain(b.pat)
+}

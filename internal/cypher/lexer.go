@@ -1,0 +1,204 @@
+// Package cypher implements the openCypher subset the VertexSurge paper's
+// queries use (§2.2, §6.2): MATCH patterns with variable-length
+// relationships, inline label and property constraints, WHERE predicates,
+// shortestPath, UNWIND over a parameter list, and RETURN with
+// COUNT/SUM(DISTINCT …), ORDER BY and LIMIT.
+//
+// As in the paper, variable-length patterns follow *walk* semantics (each
+// relationship may be traversed repeatedly), not single-MATCH trail
+// semantics, and all results are DISTINCT vertex tuples.
+package cypher
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokString
+	tokParam // $name
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokLBrace
+	tokRBrace
+	tokColon
+	tokComma
+	tokDot
+	tokDotDot
+	tokStar
+	tokPipe
+	tokDash
+	tokLt
+	tokGt
+	tokEq
+	tokSemicolon
+)
+
+// keywords recognized case-insensitively.
+var keywords = map[string]bool{
+	"MATCH": true, "WHERE": true, "RETURN": true, "ORDER": true, "BY": true,
+	"LIMIT": true, "COUNT": true, "SUM": true, "MIN": true, "MAX": true,
+	"AVG": true, "DISTINCT": true, "AS": true,
+	"NOT": true, "AND": true, "UNWIND": true, "ASC": true, "DESC": true,
+	"TRUE": true, "FALSE": true, "SHORTESTPATH": true, "LENGTH": true,
+	"WITH": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; identifiers keep their case
+	pos  int
+}
+
+// String renders the token for error messages.
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenizes src, producing a final tokEOF.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	emit := func(k tokenKind, text string, pos int) {
+		toks = append(toks, token{kind: k, text: text, pos: pos})
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			// Cypher line comment.
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(':
+			emit(tokLParen, "(", i)
+			i++
+		case c == ')':
+			emit(tokRParen, ")", i)
+			i++
+		case c == '[':
+			emit(tokLBracket, "[", i)
+			i++
+		case c == ']':
+			emit(tokRBracket, "]", i)
+			i++
+		case c == '{':
+			emit(tokLBrace, "{", i)
+			i++
+		case c == '}':
+			emit(tokRBrace, "}", i)
+			i++
+		case c == ':':
+			emit(tokColon, ":", i)
+			i++
+		case c == ',':
+			emit(tokComma, ",", i)
+			i++
+		case c == ';':
+			emit(tokSemicolon, ";", i)
+			i++
+		case c == '.':
+			if i+1 < len(src) && src[i+1] == '.' {
+				emit(tokDotDot, "..", i)
+				i += 2
+			} else {
+				emit(tokDot, ".", i)
+				i++
+			}
+		case c == '*':
+			emit(tokStar, "*", i)
+			i++
+		case c == '|':
+			emit(tokPipe, "|", i)
+			i++
+		case c == '-':
+			emit(tokDash, "-", i)
+			i++
+		case c == '<':
+			emit(tokLt, "<", i)
+			i++
+		case c == '>':
+			emit(tokGt, ">", i)
+			i++
+		case c == '=':
+			emit(tokEq, "=", i)
+			i++
+		case c == '$':
+			j := i + 1
+			for j < len(src) && isIdentChar(rune(src[j])) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("cypher: empty parameter name at offset %d", i)
+			}
+			emit(tokParam, src[i+1:j], i)
+			i = j
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != quote {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("cypher: unterminated string at offset %d", i)
+			}
+			emit(tokString, sb.String(), i)
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			emit(tokInt, src[i:j], i)
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentChar(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			if upper := strings.ToUpper(word); keywords[upper] {
+				emit(tokKeyword, upper, i)
+			} else {
+				emit(tokIdent, word, i)
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("cypher: unexpected character %q at offset %d", c, i)
+		}
+	}
+	emit(tokEOF, "", i)
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,352 @@
+package cypher
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// project turns matched tuples into output rows: evaluates expressions,
+// applies grouping and aggregation, and deduplicates RETURN DISTINCT rows.
+func project(eng *engine.Engine, q *Query, b *boundQuery, params map[string]any, res *engine.MatchResult) ([][]any, error) {
+	// Precompute path lengths for length() expressions.
+	lengths := map[string]map[[2]graph.VertexID]int{}
+	for _, item := range q.Return {
+		for _, e := range item.Args {
+			if !e.IsLength {
+				continue
+			}
+			bp, ok := b.paths[e.PathVar]
+			if !ok {
+				return nil, fmt.Errorf("cypher: length() references unknown path %q", e.PathVar)
+			}
+			m, err := pathLengths(eng, b, bp, res)
+			if err != nil {
+				return nil, err
+			}
+			lengths[e.PathVar] = m
+		}
+	}
+
+	// evalExpr computes one expression for one tuple.
+	evalExpr := func(e Expr, tuple []graph.VertexID) (any, error) {
+		if e.IsLength {
+			bp := b.paths[e.PathVar]
+			key := [2]graph.VertexID{tuple[b.varIdx[bp.srcVar]], tuple[b.varIdx[bp.dstVar]]}
+			l, ok := lengths[e.PathVar][key]
+			if !ok {
+				return nil, fmt.Errorf("cypher: no path length for %v", key)
+			}
+			return int64(l), nil
+		}
+		if idx, ok := b.varIdx[e.Var]; ok {
+			v := tuple[idx]
+			if e.Prop != "" {
+				col := eng.Graph().Prop(e.Prop)
+				if col == nil {
+					return nil, fmt.Errorf("cypher: unknown property %q", e.Prop)
+				}
+				return col.Value(int(v)), nil
+			}
+			// A bare variable projects the vertex's id property when
+			// present, else its internal index.
+			if col, ok := eng.Graph().Prop("id").(graph.Int64Column); ok {
+				return col[v], nil
+			}
+			return int64(v), nil
+		}
+		// Not a pattern variable: maybe the UNWIND alias.
+		if q.Unwind != nil && e.Var == q.Unwind.Alias {
+			val, ok := params[q.Unwind.Alias]
+			if !ok {
+				return nil, fmt.Errorf("cypher: unbound alias %q", e.Var)
+			}
+			return val, nil
+		}
+		return nil, fmt.Errorf("cypher: unknown variable %q", e.Var)
+	}
+
+	hasAgg := false
+	for _, item := range q.Return {
+		if item.Agg != "" {
+			hasAgg = true
+		}
+	}
+
+	if !hasAgg {
+		// Plain projection. VertexSurge only supports queries returning
+		// distinct tuples (§2.2), so rows always deduplicate.
+		var rows [][]any
+		seen := map[string]bool{}
+		for _, tuple := range res.Tuples {
+			row := make([]any, len(q.Return))
+			for i, item := range q.Return {
+				v, err := evalExpr(item.Args[0], tuple)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			if k := rowKey(row); !seen[k] {
+				seen[k] = true
+				rows = append(rows, row)
+			}
+		}
+		return rows, nil
+	}
+
+	// Grouped aggregation: group key = non-aggregate items.
+	type groupState struct {
+		key      []any
+		countSet map[string]bool
+		sumSet   map[string]float64
+		minMax   map[string]any       // per-column running MIN/MAX
+		avgVals  map[string][]float64 // per-column distinct values for AVG
+	}
+	groups := map[string]*groupState{}
+	var order []string
+	for _, tuple := range res.Tuples {
+		var key []any
+		for _, item := range q.Return {
+			if item.Agg != "" {
+				continue
+			}
+			v, err := evalExpr(item.Args[0], tuple)
+			if err != nil {
+				return nil, err
+			}
+			key = append(key, v)
+		}
+		k := rowKey(key)
+		st, ok := groups[k]
+		if !ok {
+			st = &groupState{
+				key: key, countSet: map[string]bool{}, sumSet: map[string]float64{},
+				minMax: map[string]any{}, avgVals: map[string][]float64{},
+			}
+			groups[k] = st
+			order = append(order, k)
+		}
+		for _, item := range q.Return {
+			if item.Agg == "" {
+				continue
+			}
+			var vals []any
+			for _, a := range item.Args {
+				v, err := evalExpr(a, tuple)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, v)
+			}
+			vk := rowKey(vals)
+			switch item.Agg {
+			case "count":
+				st.countSet[item.Column()+"\x00"+vk] = true
+			case "sum":
+				f, err := toFloat(vals[0])
+				if err != nil {
+					return nil, err
+				}
+				st.sumSet[item.Column()+"\x00"+vk] = f
+			case "avg":
+				f, err := toFloat(vals[0])
+				if err != nil {
+					return nil, err
+				}
+				if item.Distinct {
+					st.sumSet[item.Column()+"\x00"+vk] = f // distinct values by key
+				} else {
+					st.avgVals[item.Column()] = append(st.avgVals[item.Column()], f)
+				}
+			case "min", "max":
+				cur, seen := st.minMax[item.Column()]
+				if !seen {
+					st.minMax[item.Column()] = vals[0]
+				} else {
+					c := compareValues(vals[0], cur)
+					if (item.Agg == "min" && c < 0) || (item.Agg == "max" && c > 0) {
+						st.minMax[item.Column()] = vals[0]
+					}
+				}
+			}
+		}
+	}
+
+	rows := make([][]any, 0, len(groups))
+	for _, k := range order {
+		st := groups[k]
+		row := make([]any, len(q.Return))
+		ki := 0
+		for i, item := range q.Return {
+			switch item.Agg {
+			case "":
+				row[i] = st.key[ki]
+				ki++
+			case "count":
+				n := int64(0)
+				prefix := item.Column() + "\x00"
+				for key := range st.countSet {
+					if strings.HasPrefix(key, prefix) {
+						n++
+					}
+				}
+				row[i] = n
+			case "sum":
+				total := 0.0
+				prefix := item.Column() + "\x00"
+				for key, f := range st.sumSet {
+					if strings.HasPrefix(key, prefix) {
+						total += f
+					}
+				}
+				row[i] = total
+			case "avg":
+				var total float64
+				var n int
+				if item.Distinct {
+					prefix := item.Column() + "\x00"
+					for key, f := range st.sumSet {
+						if strings.HasPrefix(key, prefix) {
+							total += f
+							n++
+						}
+					}
+				} else {
+					for _, f := range st.avgVals[item.Column()] {
+						total += f
+						n++
+					}
+				}
+				if n > 0 {
+					row[i] = total / float64(n)
+				} else {
+					row[i] = 0.0
+				}
+			case "min", "max":
+				row[i] = st.minMax[item.Column()]
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// pathLengths computes the minimal walk length for every (src, dst) pair of
+// a path variable's relationship that appears in the result tuples.
+func pathLengths(eng *engine.Engine, b *boundQuery, bp boundPath, res *engine.MatchResult) (map[[2]graph.VertexID]int, error) {
+	srcIdx, dstIdx := b.varIdx[bp.srcVar], b.varIdx[bp.dstVar]
+	srcSet := map[graph.VertexID]bool{}
+	for _, t := range res.Tuples {
+		srcSet[t[srcIdx]] = true
+	}
+	sources := make([]graph.VertexID, 0, len(srcSet))
+	for v := range srcSet {
+		sources = append(sources, v)
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
+	rowOf := make(map[graph.VertexID]int, len(sources))
+	for i, v := range sources {
+		rowOf[v] = i
+	}
+	r, err := eng.Expand(sources, bp.d, true)
+	if err != nil {
+		return nil, err
+	}
+	out := map[[2]graph.VertexID]int{}
+	for _, t := range res.Tuples {
+		key := [2]graph.VertexID{t[srcIdx], t[dstIdx]}
+		if _, done := out[key]; done {
+			continue
+		}
+		if l, ok := r.MinLength(rowOf[key[0]], key[1]); ok {
+			out[key] = l
+		}
+	}
+	return out, nil
+}
+
+func rowKey(vals []any) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		fmt.Fprintf(&sb, "%T:%v|", v, v)
+	}
+	return sb.String()
+}
+
+func toFloat(v any) (float64, error) {
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case int64:
+		return float64(x), nil
+	case int:
+		return float64(x), nil
+	default:
+		return 0, fmt.Errorf("cypher: SUM over non-numeric value %T", v)
+	}
+}
+
+// orderAndLimit applies ORDER BY and LIMIT to a result in place.
+func orderAndLimit(res *Result, q *Query) error {
+	if len(q.OrderBy) > 0 {
+		idxs := make([]int, len(q.OrderBy))
+		for i, key := range q.OrderBy {
+			idx := -1
+			for ci, col := range res.Columns {
+				if col == key.Ref {
+					idx = ci
+					break
+				}
+			}
+			if idx < 0 {
+				return fmt.Errorf("cypher: ORDER BY references unknown column %q", key.Ref)
+			}
+			idxs[i] = idx
+		}
+		sort.SliceStable(res.Rows, func(a, b int) bool {
+			for i, idx := range idxs {
+				c := compareValues(res.Rows[a][idx], res.Rows[b][idx])
+				if c == 0 {
+					continue
+				}
+				if q.OrderBy[i].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if q.Limit > 0 && len(res.Rows) > q.Limit {
+		res.Rows = res.Rows[:q.Limit]
+	}
+	return nil
+}
+
+func compareValues(a, b any) int {
+	af, aerr := toFloat(a)
+	bf, berr := toFloat(b)
+	if aerr == nil && berr == nil {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	as, bs := fmt.Sprint(a), fmt.Sprint(b)
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,290 @@
+// Package datagen generates the evaluation datasets of the VertexSurge
+// paper (Table 1) as deterministic synthetic graphs.
+//
+// The paper evaluates on real downloads (LastFM, Epinions, LiveJournal,
+// Twitter2010, Rabobank) and LDBC generators (SNB, FinBench), none of which
+// are available offline. Each generator here reproduces the *schema* and
+// *shape* the corresponding dataset contributes to the evaluation: power-law
+// social networks with community labels, a bank transfer graph with
+// risk-tagged accounts, and a FinBench-schema financial graph (Person /
+// Account / Loan / Medium vertices with own / transfer / withdraw / deposit
+// / signIn edges). Every generator is seeded and fully deterministic.
+// |V| and |E| match Table 1 scaled by a configurable factor (see DESIGN.md,
+// "Substitutions").
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Communities are the community labels used by the social-network cases
+// (the paper's :SIGA, :SIGB, :SIGC).
+var Communities = []string{"SIGA", "SIGB", "SIGC"}
+
+// SocialConfig parameterizes a social-network generator.
+type SocialConfig struct {
+	// Name tags the dataset (e.g. "LastFM").
+	Name string
+	// NumVertices and NumEdges size the graph.
+	NumVertices int
+	NumEdges    int
+	// Seed makes generation deterministic.
+	Seed int64
+	// CommunityFraction is the fraction of persons carrying one of the
+	// three community labels (≈0.25 gives the "stringent filter"
+	// selectivity of Figure 2b's ~2000 candidates on LastFM-scale data).
+	CommunityFraction float64
+}
+
+// SocialNetwork generates an undirected power-law "knows" graph via
+// preferential attachment. Every vertex is a :Person; a CommunityFraction
+// subset carries one of :SIGA/:SIGB/:SIGC. Vertices get an int64 "id"
+// property (vertex index + 1000) and a "name" string property.
+//
+// knows edges are stored once in arbitrary orientation; queries traverse
+// them with Direction Both, as the paper's social cases do.
+func SocialNetwork(cfg SocialConfig) (*graph.Graph, error) {
+	if cfg.NumVertices <= 1 {
+		return nil, fmt.Errorf("datagen: need at least 2 vertices, got %d", cfg.NumVertices)
+	}
+	if cfg.NumEdges < 0 {
+		return nil, fmt.Errorf("datagen: negative edge count")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.NumVertices
+	b := graph.NewBuilder(n)
+
+	ids := make(graph.Int64Column, n)
+	names := make(graph.StringColumn, n)
+	for v := 0; v < n; v++ {
+		b.SetLabel(graph.VertexID(v), "Person")
+		ids[v] = int64(v) + 1000
+		names[v] = fmt.Sprintf("person-%d", v)
+		if rng.Float64() < cfg.CommunityFraction {
+			b.SetLabel(graph.VertexID(v), Communities[rng.Intn(len(Communities))])
+		}
+	}
+	b.SetProp("id", ids)
+	b.SetProp("name", names)
+
+	// Preferential attachment: endpoints are drawn from the pool of
+	// previous edge endpoints with probability ~2/3, uniformly otherwise,
+	// yielding a heavy-tailed degree distribution like the real networks.
+	// knows is a simple graph (no parallel friendships, like LDBC SNB):
+	// duplicate undirected pairs redraw, with a cap for dense requests.
+	// Requests beyond the complete graph clamp to it.
+	if maxEdges := n * (n - 1) / 2; cfg.NumEdges > maxEdges {
+		cfg.NumEdges = maxEdges
+	}
+	pool := make([]uint32, 0, 2*cfg.NumEdges)
+	seen := make(map[uint64]bool, cfg.NumEdges)
+	pick := func() uint32 {
+		if len(pool) > 0 && rng.Float64() < 0.66 {
+			return pool[rng.Intn(len(pool))]
+		}
+		return uint32(rng.Intn(n))
+	}
+	for i := 0; i < cfg.NumEdges; i++ {
+		var s, d uint32
+		for attempt := 0; ; attempt++ {
+			s = pick()
+			d = pick()
+			for d == s {
+				d = uint32(rng.Intn(n))
+			}
+			lo, hi := s, d
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			key := uint64(lo)<<32 | uint64(hi)
+			if !seen[key] {
+				seen[key] = true
+				break
+			}
+			if attempt > 200 {
+				return nil, fmt.Errorf("datagen: cannot place %d simple edges on %d vertices", cfg.NumEdges, n)
+			}
+		}
+		b.AddEdge("knows", s, d)
+		pool = append(pool, s, d)
+	}
+	return b.Build()
+}
+
+// BankConfig parameterizes the bank-transfer generator (Rabobank-like).
+type BankConfig struct {
+	Name         string
+	NumAccounts  int
+	NumTransfers int
+	Seed         int64
+	// RiskFraction is the fraction of accounts labeled :RISKA (the
+	// paper "assigned random risk tags to some specified accounts").
+	RiskFraction float64
+}
+
+// BankGraph generates a directed transfer graph: every vertex is an
+// :Account with an int64 "id"; a RiskFraction subset carries :RISKA.
+// transfer edges follow a preferential-attachment-out / uniform-in mix,
+// matching the hub-dominated shape of real transaction networks.
+func BankGraph(cfg BankConfig) (*graph.Graph, error) {
+	if cfg.NumAccounts <= 1 {
+		return nil, fmt.Errorf("datagen: need at least 2 accounts, got %d", cfg.NumAccounts)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.NumAccounts
+	b := graph.NewBuilder(n)
+	ids := make(graph.Int64Column, n)
+	for v := 0; v < n; v++ {
+		b.SetLabel(graph.VertexID(v), "Account")
+		ids[v] = int64(v) + 1000
+		if rng.Float64() < cfg.RiskFraction {
+			b.SetLabel(graph.VertexID(v), "RISKA")
+		}
+	}
+	b.SetProp("id", ids)
+
+	pool := make([]uint32, 0, cfg.NumTransfers)
+	for i := 0; i < cfg.NumTransfers; i++ {
+		var s uint32
+		if len(pool) > 0 && rng.Float64() < 0.5 {
+			s = pool[rng.Intn(len(pool))]
+		} else {
+			s = uint32(rng.Intn(n))
+		}
+		d := uint32(rng.Intn(n))
+		for d == s {
+			d = uint32(rng.Intn(n))
+		}
+		b.AddEdge("transfer", s, d)
+		pool = append(pool, d)
+	}
+	return b.Build()
+}
+
+// FinConfig parameterizes the FinBench-schema financial graph generator.
+type FinConfig struct {
+	Name        string
+	NumPersons  int
+	NumAccounts int
+	NumLoans    int
+	NumMediums  int
+	// Edge counts.
+	NumTransfers int
+	NumWithdraws int
+	Seed         int64
+	// BlockedFraction of mediums have isBlocked = true (TCR1's filter).
+	BlockedFraction float64
+}
+
+// FinLayout reports the vertex-ID ranges of a financial graph: persons
+// first, then accounts, loans, mediums.
+type FinLayout struct {
+	PersonLo, PersonHi   graph.VertexID // [lo, hi)
+	AccountLo, AccountHi graph.VertexID
+	LoanLo, LoanHi       graph.VertexID
+	MediumLo, MediumHi   graph.VertexID
+}
+
+// FinancialGraph generates an LDBC-FinBench-schema graph:
+//
+//   - vertices: :Person, :Account, :Loan, :Medium (dense ID ranges in that
+//     order, see FinLayout);
+//   - edges: own (Person→Account, each account owned by exactly one
+//     person), transfer (Account→Account), withdraw (Account→Account),
+//     deposit (Loan→Account, each loan deposits to exactly one account),
+//     signIn (Medium→Account, each medium signs into 1–3 accounts);
+//   - properties: "id" (int64, globally unique), "isBlocked" (bool, only
+//     meaningful on mediums), "balance" and "loanAmount" (float64, on
+//     loans).
+func FinancialGraph(cfg FinConfig) (*graph.Graph, *FinLayout, error) {
+	if cfg.NumPersons < 1 || cfg.NumAccounts < 2 || cfg.NumLoans < 1 || cfg.NumMediums < 1 {
+		return nil, nil, fmt.Errorf("datagen: financial graph needs ≥1 person, ≥2 accounts, ≥1 loan, ≥1 medium")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lay := &FinLayout{}
+	lay.PersonLo, lay.PersonHi = 0, graph.VertexID(cfg.NumPersons)
+	lay.AccountLo, lay.AccountHi = lay.PersonHi, lay.PersonHi+graph.VertexID(cfg.NumAccounts)
+	lay.LoanLo, lay.LoanHi = lay.AccountHi, lay.AccountHi+graph.VertexID(cfg.NumLoans)
+	lay.MediumLo, lay.MediumHi = lay.LoanHi, lay.LoanHi+graph.VertexID(cfg.NumMediums)
+	n := int(lay.MediumHi)
+
+	b := graph.NewBuilder(n)
+	ids := make(graph.Int64Column, n)
+	blocked := make(graph.BoolColumn, n)
+	balance := make(graph.Float64Column, n)
+	amount := make(graph.Float64Column, n)
+	for v := 0; v < n; v++ {
+		ids[v] = int64(v) + 1000
+	}
+	for v := lay.PersonLo; v < lay.PersonHi; v++ {
+		b.SetLabel(v, "Person")
+	}
+	for v := lay.AccountLo; v < lay.AccountHi; v++ {
+		b.SetLabel(v, "Account")
+	}
+	for v := lay.LoanLo; v < lay.LoanHi; v++ {
+		b.SetLabel(v, "Loan")
+		balance[v] = float64(1000+rng.Intn(100000)) / 10
+		amount[v] = balance[v] * (1 + rng.Float64())
+	}
+	for v := lay.MediumLo; v < lay.MediumHi; v++ {
+		b.SetLabel(v, "Medium")
+		if rng.Float64() < cfg.BlockedFraction {
+			blocked[v] = true
+		}
+	}
+	b.SetProp("id", ids)
+	b.SetProp("isBlocked", blocked)
+	b.SetProp("balance", balance)
+	b.SetProp("loanAmount", amount)
+
+	account := func() graph.VertexID {
+		return lay.AccountLo + graph.VertexID(rng.Intn(cfg.NumAccounts))
+	}
+	// own: each account owned by exactly one person.
+	for a := lay.AccountLo; a < lay.AccountHi; a++ {
+		p := lay.PersonLo + graph.VertexID(rng.Intn(cfg.NumPersons))
+		b.AddEdge("own", p, a)
+	}
+	// transfer / withdraw between accounts, hub-skewed.
+	pool := make([]graph.VertexID, 0, cfg.NumTransfers)
+	for i := 0; i < cfg.NumTransfers; i++ {
+		s := account()
+		if len(pool) > 0 && rng.Float64() < 0.5 {
+			s = pool[rng.Intn(len(pool))]
+		}
+		d := account()
+		for d == s {
+			d = account()
+		}
+		b.AddEdge("transfer", s, d)
+		pool = append(pool, d)
+	}
+	for i := 0; i < cfg.NumWithdraws; i++ {
+		s := account()
+		d := account()
+		for d == s {
+			d = account()
+		}
+		b.AddEdge("withdraw", s, d)
+	}
+	// deposit: each loan deposits into exactly one account.
+	for l := lay.LoanLo; l < lay.LoanHi; l++ {
+		b.AddEdge("deposit", l, account())
+	}
+	// signIn: each medium signs into 1–3 accounts.
+	for m := lay.MediumLo; m < lay.MediumHi; m++ {
+		k := 1 + rng.Intn(3)
+		for i := 0; i < k; i++ {
+			b.AddEdge("signIn", m, account())
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, lay, nil
+}

@@ -1,0 +1,268 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSocialNetworkShape(t *testing.T) {
+	cfg := SocialConfig{Name: "test", NumVertices: 2000, NumEdges: 8000, Seed: 1, CommunityFraction: 0.3}
+	g, err := SocialNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2000 || g.NumEdges() != 8000 {
+		t.Fatalf("size = %d/%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.Label("Person").PopCount() != 2000 {
+		t.Fatal("not every vertex is a Person")
+	}
+	// Communities cover roughly the requested fraction.
+	total := 0
+	for _, c := range Communities {
+		bm := g.Label(c)
+		if bm == nil {
+			t.Fatalf("community %s missing", c)
+		}
+		total += bm.PopCount()
+	}
+	if total < 400 || total > 800 {
+		t.Fatalf("community members = %d, want ≈600", total)
+	}
+	// Heavy tail: max degree far above average.
+	knows := g.Edges("knows")
+	maxDeg := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := knows.Degree(graph.VertexID(v), graph.Both); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := 2 * float64(g.NumEdges()) / float64(g.NumVertices())
+	if float64(maxDeg) < 5*avg {
+		t.Errorf("max degree %d not heavy-tailed vs avg %.1f", maxDeg, avg)
+	}
+	// No self loops.
+	for i := 0; i < knows.Len(); i++ {
+		if s, d := knows.Edge(i); s == d {
+			t.Fatalf("self loop at edge %d", i)
+		}
+	}
+	// id property present and indexed.
+	if v, ok := g.FindByInt64("id", 1005); !ok || v != 5 {
+		t.Fatalf("FindByInt64(1005) = %d,%v", v, ok)
+	}
+}
+
+func TestSocialNetworkDeterminism(t *testing.T) {
+	cfg := SocialConfig{NumVertices: 300, NumEdges: 900, Seed: 7, CommunityFraction: 0.2}
+	g1, err1 := SocialNetwork(cfg)
+	g2, err2 := SocialNetwork(cfg)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	e1, e2 := g1.Edges("knows"), g2.Edges("knows")
+	for i := 0; i < e1.Len(); i++ {
+		s1, d1 := e1.Edge(i)
+		s2, d2 := e2.Edge(i)
+		if s1 != s2 || d1 != d2 {
+			t.Fatalf("edge %d differs: (%d,%d) vs (%d,%d)", i, s1, d1, s2, d2)
+		}
+	}
+	cfg.Seed = 8
+	g3, _ := SocialNetwork(cfg)
+	e3 := g3.Edges("knows")
+	same := true
+	for i := 0; i < e1.Len(); i++ {
+		s1, d1 := e1.Edge(i)
+		s3, d3 := e3.Edge(i)
+		if s1 != s3 || d1 != d3 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical edges")
+	}
+}
+
+func TestSocialNetworkErrors(t *testing.T) {
+	if _, err := SocialNetwork(SocialConfig{NumVertices: 1, NumEdges: 5}); err == nil {
+		t.Error("1 vertex accepted")
+	}
+	if _, err := SocialNetwork(SocialConfig{NumVertices: 10, NumEdges: -1}); err == nil {
+		t.Error("negative edges accepted")
+	}
+}
+
+func TestBankGraph(t *testing.T) {
+	g, err := BankGraph(BankConfig{NumAccounts: 1000, NumTransfers: 3000, Seed: 3, RiskFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 || g.NumEdges() != 3000 {
+		t.Fatalf("size = %d/%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.Label("Account").PopCount() != 1000 {
+		t.Fatal("not every vertex is an Account")
+	}
+	risk := g.Label("RISKA").PopCount()
+	if risk < 20 || risk > 100 {
+		t.Fatalf("RISKA count = %d, want ≈50", risk)
+	}
+	tr := g.Edges("transfer")
+	for i := 0; i < tr.Len(); i++ {
+		if s, d := tr.Edge(i); s == d {
+			t.Fatalf("self transfer at %d", i)
+		}
+	}
+	if _, err := BankGraph(BankConfig{NumAccounts: 0}); err == nil {
+		t.Error("empty bank accepted")
+	}
+}
+
+func TestFinancialGraphSchema(t *testing.T) {
+	cfg := FinConfig{
+		NumPersons: 100, NumAccounts: 400, NumLoans: 50, NumMediums: 80,
+		NumTransfers: 2000, NumWithdraws: 300, Seed: 5, BlockedFraction: 0.2,
+	}
+	g, lay, err := FinancialGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 630 {
+		t.Fatalf("NumVertices = %d, want 630", g.NumVertices())
+	}
+	wantLabels := map[string]int{"Person": 100, "Account": 400, "Loan": 50, "Medium": 80}
+	for l, want := range wantLabels {
+		if got := g.Label(l).PopCount(); got != want {
+			t.Errorf("label %s count = %d, want %d", l, got, want)
+		}
+	}
+	// Layout ranges line up with labels.
+	if !g.HasLabel(lay.AccountLo, "Account") || !g.HasLabel(lay.MediumHi-1, "Medium") {
+		t.Fatal("layout ranges disagree with labels")
+	}
+	// Every account owned by exactly one person.
+	own := g.Edges("own")
+	if own.Len() != 400 {
+		t.Fatalf("own edges = %d, want 400", own.Len())
+	}
+	for a := lay.AccountLo; a < lay.AccountHi; a++ {
+		owners := own.Neighbors(a, graph.Reverse)
+		if len(owners) != 1 {
+			t.Fatalf("account %d has %d owners", a, len(owners))
+		}
+		if !g.HasLabel(owners[0], "Person") {
+			t.Fatalf("owner of %d is not a Person", a)
+		}
+	}
+	// Every loan deposits into exactly one account.
+	dep := g.Edges("deposit")
+	for l := lay.LoanLo; l < lay.LoanHi; l++ {
+		if got := len(dep.Neighbors(l, graph.Forward)); got != 1 {
+			t.Fatalf("loan %d deposits %d times", l, got)
+		}
+	}
+	// Mediums sign into 1..3 accounts.
+	si := g.Edges("signIn")
+	for m := lay.MediumLo; m < lay.MediumHi; m++ {
+		k := len(si.Neighbors(m, graph.Forward))
+		if k < 1 || k > 3 {
+			t.Fatalf("medium %d signs into %d accounts", m, k)
+		}
+	}
+	// Transfers stay within accounts.
+	tr := g.Edges("transfer")
+	for i := 0; i < tr.Len(); i++ {
+		s, d := tr.Edge(i)
+		if !g.HasLabel(s, "Account") || !g.HasLabel(d, "Account") {
+			t.Fatalf("transfer %d touches a non-account", i)
+		}
+	}
+	// Blocked mediums exist but are a strict subset.
+	blocked, ok := g.Prop("isBlocked").(graph.BoolColumn)
+	if !ok {
+		t.Fatal("isBlocked column missing")
+	}
+	nBlocked := 0
+	for m := lay.MediumLo; m < lay.MediumHi; m++ {
+		if blocked[m] {
+			nBlocked++
+		}
+	}
+	if nBlocked == 0 || nBlocked == 80 {
+		t.Fatalf("blocked mediums = %d, want strict subset of 80", nBlocked)
+	}
+	// Loans have positive balances.
+	bal := g.Prop("balance").(graph.Float64Column)
+	for l := lay.LoanLo; l < lay.LoanHi; l++ {
+		if bal[l] <= 0 {
+			t.Fatalf("loan %d has balance %f", l, bal[l])
+		}
+	}
+	if _, _, err := FinancialGraph(FinConfig{}); err == nil {
+		t.Error("empty financial config accepted")
+	}
+}
+
+func TestGeneratePresets(t *testing.T) {
+	for _, name := range Table1Names() {
+		v, e, err := Table1Size(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tiny scale so even Twitter2010 generates instantly.
+		scale := 2000.0 / float64(v)
+		ds, err := Generate(name, scale)
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", name, err)
+		}
+		g := ds.Graph
+		wantV := int(float64(v) * scale)
+		if diff := g.NumVertices() - wantV; diff < -1 || diff > 1 {
+			t.Errorf("%s: |V| = %d, want ≈%d", name, g.NumVertices(), wantV)
+		}
+		// |E|/|V| ratio roughly preserved (within 2×; the financial
+		// generator adds structural edges).
+		gotRatio := float64(g.NumEdges()) / float64(g.NumVertices())
+		wantRatio := float64(e) / float64(v)
+		if gotRatio < wantRatio/2 || gotRatio > wantRatio*2 {
+			t.Errorf("%s: |E|/|V| = %.2f, want ≈%.2f", name, gotRatio, wantRatio)
+		}
+		if ds.Kind == "financial" && ds.Layout == nil {
+			t.Errorf("%s: missing layout", name)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate("NoSuchDataset", 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := Generate("LastFM", 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, _, err := Table1Size("NoSuchDataset"); err == nil {
+		t.Error("unknown dataset size accepted")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	d1, err1 := Generate("LastFM", 0.1)
+	d2, err2 := Generate("LastFM", 0.1)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	e1, e2 := d1.Graph.Edges("knows"), d2.Graph.Edges("knows")
+	if e1.Len() != e2.Len() {
+		t.Fatal("edge counts differ")
+	}
+	for i := 0; i < e1.Len(); i++ {
+		s1, t1 := e1.Edge(i)
+		s2, t2 := e2.Edge(i)
+		if s1 != s2 || t1 != t2 {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+const sampleEdgeList = `
+# SNAP-style comment
+% KONECT-style comment
+10 20
+20 30
+30 10
+10 40
+
+40 9999
+`
+
+func TestImportEdgeList(t *testing.T) {
+	g, err := ImportEdgeList(strings.NewReader(sampleEdgeList), ImportConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 5 {
+		t.Fatalf("|V| = %d, want 5", g.NumVertices())
+	}
+	if g.NumEdges() != 5 {
+		t.Fatalf("|E| = %d, want 5", g.NumEdges())
+	}
+	if g.Label("Person").PopCount() != 5 {
+		t.Fatal("base label missing")
+	}
+	// Dense renumbering preserves original ids in origId.
+	orig := g.Prop("origId").(graph.Int64Column)
+	wantOrig := []int64{10, 20, 30, 40, 9999}
+	for i, want := range wantOrig {
+		if orig[i] != want {
+			t.Fatalf("origId[%d] = %d, want %d", i, orig[i], want)
+		}
+	}
+	// Edges follow the remapping: 10→20 becomes 0→1.
+	knows := g.Edges("knows")
+	if s, d := knows.Edge(0); s != 0 || d != 1 {
+		t.Fatalf("first edge = (%d,%d), want (0,1)", s, d)
+	}
+	// id property starts at 1000 like the generators.
+	if v, ok := g.FindByInt64("id", 1002); !ok || v != 2 {
+		t.Fatalf("FindByInt64 = %d,%v", v, ok)
+	}
+}
+
+func TestImportEdgeListCustomConfig(t *testing.T) {
+	g, err := ImportEdgeList(strings.NewReader("1 2\n2 3\n"), ImportConfig{
+		EdgeLabel: "transfer", BaseLabel: "Account", Seed: 1, CommunityFraction: 0.0001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges("transfer") == nil || g.Label("Account") == nil {
+		t.Fatal("custom labels not applied")
+	}
+}
+
+func TestImportEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",            // empty
+		"# only\n",    // comments only
+		"1\n",         // one field
+		"x 2\n",       // bad source
+		"1 y\n",       // bad destination
+		"1 2\nbroken", // trailing bad line
+	}
+	for _, src := range cases {
+		if _, err := ImportEdgeList(strings.NewReader(src), ImportConfig{}); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestImportedGraphAnswersQueries(t *testing.T) {
+	// A triangle among remapped vertices is findable end to end.
+	g, err := ImportEdgeList(strings.NewReader("7 8\n8 9\n9 7\n"), ImportConfig{Seed: 2, CommunityFraction: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knows := g.Edges("knows")
+	if knows.Len() != 3 {
+		t.Fatalf("edges = %d", knows.Len())
+	}
+	// 0-1-2 triangle: 0 reaches both others in ≤1 undirected hop.
+	if got := len(knows.Neighbors(0, graph.Both)); got != 2 {
+		t.Fatalf("deg(0) = %d, want 2", got)
+	}
+}

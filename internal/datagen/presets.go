@@ -1,0 +1,131 @@
+package datagen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Dataset couples a generated graph with its Table-1 identity.
+type Dataset struct {
+	Name string
+	// Kind is "social", "bank", or "financial".
+	Kind string
+	// Scale is the applied down-scaling factor relative to Table 1
+	// (1.0 = the paper's size).
+	Scale float64
+	Graph *graph.Graph
+	// Layout is non-nil for financial graphs.
+	Layout *FinLayout
+}
+
+// table1 records the paper's dataset sizes (Table 1).
+var table1 = []struct {
+	name string
+	kind string
+	v, e int
+}{
+	{"LastFM", "social", 7_600, 27_800},
+	{"Epinions", "social", 75_000, 509_000},
+	{"LDBC-SN-SF100", "social", 480_000, 23_000_000},
+	{"Rabobank", "bank", 1_620_000, 4_130_000},
+	{"LDBC-SN-SF1000", "social", 3_200_000, 202_000_000},
+	{"LiveJournal", "social", 4_800_000, 68_000_000},
+	{"LDBC-FinBench-SF10", "financial", 5_100_000, 22_000_000},
+	{"Twitter2010", "social", 41_000_000, 1_470_000_000},
+}
+
+// Table1Names lists the paper's datasets in Table-1 order.
+func Table1Names() []string {
+	out := make([]string, len(table1))
+	for i, d := range table1 {
+		out[i] = d.name
+	}
+	return out
+}
+
+// Table1Size returns the paper-reported |V| and |E| for a dataset name.
+func Table1Size(name string) (v, e int, err error) {
+	for _, d := range table1 {
+		if d.name == name {
+			return d.v, d.e, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("datagen: unknown dataset %q", name)
+}
+
+// Generate produces a scaled synthetic stand-in for a Table-1 dataset.
+// scale multiplies both |V| and |E| (so |E|/|V| is preserved); scale 1.0
+// reproduces the paper's sizes. Generation is deterministic per
+// (name, scale).
+func Generate(name string, scale float64) (*Dataset, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("datagen: scale must be positive, got %g", scale)
+	}
+	for _, d := range table1 {
+		if d.name != name {
+			continue
+		}
+		v := max(2, int(float64(d.v)*scale))
+		e := max(1, int(float64(d.e)*scale))
+		switch d.kind {
+		case "social":
+			g, err := SocialNetwork(SocialConfig{
+				Name:              name,
+				NumVertices:       v,
+				NumEdges:          e,
+				Seed:              seedFor(name),
+				CommunityFraction: 0.25,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &Dataset{Name: name, Kind: d.kind, Scale: scale, Graph: g}, nil
+		case "bank":
+			g, err := BankGraph(BankConfig{
+				Name:         name,
+				NumAccounts:  v,
+				NumTransfers: e,
+				Seed:         seedFor(name),
+				RiskFraction: 0.02,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &Dataset{Name: name, Kind: d.kind, Scale: scale, Graph: g}, nil
+		case "financial":
+			// FinBench SF10's vertex mix: mostly accounts and persons,
+			// some loans and mediums.
+			persons := max(1, v/4)
+			accounts := max(2, v/2)
+			loans := max(1, v/8)
+			mediums := max(1, v-persons-accounts-loans)
+			g, lay, err := FinancialGraph(FinConfig{
+				Name:            name,
+				NumPersons:      persons,
+				NumAccounts:     accounts,
+				NumLoans:        loans,
+				NumMediums:      mediums,
+				NumTransfers:    max(1, e*2/3),
+				NumWithdraws:    max(1, e/6),
+				Seed:            seedFor(name),
+				BlockedFraction: 0.1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &Dataset{Name: name, Kind: d.kind, Scale: scale, Graph: g, Layout: lay}, nil
+		}
+	}
+	return nil, fmt.Errorf("datagen: unknown dataset %q", name)
+}
+
+// seedFor derives a stable per-dataset seed from the name.
+func seedFor(name string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range name {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	return h
+}

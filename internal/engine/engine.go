@@ -1,0 +1,327 @@
+// Package engine is VertexSurge's query execution engine: it composes the
+// planner, the VExpand operator, and the MIntersect operator into complete
+// VLGPM query execution (§3, §5), with the per-stage timing breakdown the
+// paper reports in Figure 8.
+//
+// The generic entry point is Match, which executes an arbitrary
+// variable-length graph pattern. The twelve evaluation queries of §6.2
+// (social cases 1–5, bank cases 6–7, FinBench cases 8–12) are provided as
+// methods in cases.go.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bitmatrix"
+	"repro/internal/graph"
+	"repro/internal/mintersect"
+	"repro/internal/pattern"
+	"repro/internal/planner"
+	"repro/internal/vexpand"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds expand parallelism; 0 = GOMAXPROCS.
+	Workers int
+	// Kernel pins the VExpand kernel; Auto by default.
+	Kernel vexpand.Kernel
+}
+
+// Engine executes VLGPM queries against one graph.
+type Engine struct {
+	g    *graph.Graph
+	opts Options
+}
+
+// New returns an engine over g.
+func New(g *graph.Graph, opts Options) *Engine {
+	return &Engine{g: g, opts: opts}
+}
+
+// Graph returns the underlying graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Timings is the per-stage breakdown of one query (Figure 8's components).
+type Timings struct {
+	// Scan is candidate scanning and planning.
+	Scan time.Duration
+	// Expand is VExpand's frontier–edge multiplication time.
+	Expand time.Duration
+	// UpdateVisit is visited-set maintenance (SHORTEST determiners only).
+	UpdateVisit time.Duration
+	// Intersect is MIntersect (Generic Join) time.
+	Intersect time.Duration
+	// Aggregate is grouping/sorting/summing time.
+	Aggregate time.Duration
+	// Total is end-to-end wall time.
+	Total time.Duration
+}
+
+// Add accumulates another breakdown into t.
+func (t *Timings) Add(o Timings) {
+	t.Scan += o.Scan
+	t.Expand += o.Expand
+	t.UpdateVisit += o.UpdateVisit
+	t.Intersect += o.Intersect
+	t.Aggregate += o.Aggregate
+	t.Total += o.Total
+}
+
+// Other returns time not attributed to a named stage.
+func (t Timings) Other() time.Duration {
+	other := t.Total - t.Scan - t.Expand - t.UpdateVisit - t.Intersect - t.Aggregate
+	if other < 0 {
+		return 0
+	}
+	return other
+}
+
+// MatchOptions configures Match.
+type MatchOptions struct {
+	// CountOnly skips tuple materialization (§5.1's counting fast path).
+	CountOnly bool
+	// Limit bounds materialized tuples; 0 = unlimited.
+	Limit int64
+	// Order forces the join order (pattern-vertex index per position),
+	// bypassing the planner's choice — for planner ablation.
+	Order []int
+}
+
+// MatchResult is the output of Match.
+type MatchResult struct {
+	// Names lists the pattern vertex names in tuple component order
+	// (pattern declaration order, not join order).
+	Names []string
+	// Tuples are the distinct matches; Tuples[i][k] binds Names[k].
+	Tuples [][]graph.VertexID
+	// Count is the number of distinct matches.
+	Count int64
+	// ExpandStats aggregates the VExpand statistics across all pattern
+	// edges (Table 2's intermediate-result accounting).
+	ExpandStats vexpand.Stats
+	// Timings is the per-stage breakdown.
+	Timings Timings
+}
+
+// Match executes a VLGPM pattern and returns the distinct matched vertex
+// tuples (Definition 3). Matching uses walk semantics for ANY determiners
+// (§2.2) and requires the match to be a bijection.
+func (e *Engine) Match(pat *pattern.Pattern, opts MatchOptions) (*MatchResult, error) {
+	start := time.Now()
+	res := &MatchResult{}
+	for _, v := range pat.Vertices {
+		res.Names = append(res.Names, v.Name)
+	}
+
+	t0 := time.Now()
+	var plan *planner.Plan
+	var err error
+	if opts.Order != nil {
+		plan, err = planner.BuildOrdered(e.g, pat, opts.Order)
+	} else {
+		plan, err = planner.Build(e.g, pat)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Scan = time.Since(t0)
+
+	n := len(pat.Vertices)
+	if n == 1 {
+		// Degenerate single-vertex pattern: candidates are the matches.
+		for _, v := range plan.CandList[0] {
+			res.Count++
+			if !opts.CountOnly {
+				res.Tuples = append(res.Tuples, []graph.VertexID{v})
+			}
+			if opts.Limit > 0 && res.Count >= opts.Limit {
+				break
+			}
+		}
+		res.Timings.Total = time.Since(start)
+		return res, nil
+	}
+
+	in, err := e.buildJoinInput(plan, res)
+	if err != nil {
+		return nil, err
+	}
+
+	t1 := time.Now()
+	jr, err := mintersect.Run(in, mintersect.Options{
+		CountOnly: opts.CountOnly,
+		Limit:     opts.Limit,
+		Workers:   e.opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Intersect = time.Since(t1)
+	res.Count = jr.Count
+
+	// Reorder tuples from join order back to pattern declaration order.
+	t2 := time.Now()
+	if !opts.CountOnly {
+		res.Tuples = make([][]graph.VertexID, len(jr.Tuples))
+		for i, tup := range jr.Tuples {
+			out := make([]graph.VertexID, n)
+			for pos, v := range tup {
+				out[plan.Order[pos]] = v
+			}
+			res.Tuples[i] = out
+		}
+	}
+	res.Timings.Aggregate = time.Since(t2)
+	res.Timings.Total = time.Since(start)
+	return res, nil
+}
+
+// buildJoinInput expands every planned edge and assembles the MIntersect
+// input. Expand statistics and stage timings accumulate into res.
+//
+// Parallel edges sharing the same (earlier, later) position pair are ANDed
+// into one matrix. Identical expansions are computed once: two pattern
+// edges that expand from the same vertex's candidates under the same
+// determiner (e.g. the community triangle's b–c and a–c edges, both
+// expanding from c) share one reachability matrix — the pattern-symmetry
+// optimization §2.3.2 describes for the VLP search phase.
+func (e *Engine) buildJoinInput(plan *planner.Plan, res *MatchResult) (*mintersect.Input, error) {
+	n := len(plan.Order)
+	type key struct{ earlier, later int }
+	matrices := make(map[key]*bitmatrix.Matrix)
+	memo := make(map[string]*vexpand.Result)
+	for _, pe := range plan.Edges {
+		sources := plan.CandList[pe.ExpandFrom]
+		// The key spells out every determiner field (Determiner.String
+		// omits EdgePropEq; fmt prints maps in sorted key order).
+		memoKey := fmt.Sprintf("%d|%d|%d|%d|%d|%v|%v",
+			pe.ExpandFrom, pe.D.KMin, pe.D.KMax, pe.D.Dir, pe.D.Type, pe.D.EdgeLabels, pe.D.EdgePropEq)
+		r, ok := memo[memoKey]
+		if !ok {
+			t0 := time.Now()
+			var err error
+			r, err = vexpand.Expand(e.g, sources, pe.D, vexpand.Options{
+				Kernel:  e.opts.Kernel,
+				Workers: e.opts.Workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			wall := time.Since(t0)
+			memo[memoKey] = r
+			res.ExpandStats.Steps += r.Stats.Steps
+			res.ExpandStats.IntermediateResults += r.Stats.IntermediateResults
+			res.ExpandStats.MatrixBytes += r.Stats.MatrixBytes
+			// Attribute the whole operator call (matrix allocation
+			// included) to the Expand stage, minus the separately
+			// tracked visited-set maintenance.
+			res.Timings.Expand += wall - r.Stats.UpdateVisitTime
+			res.Timings.UpdateVisit += r.Stats.UpdateVisitTime
+		}
+		k := key{pe.EarlierPos, pe.LaterPos}
+		if m, ok := matrices[k]; ok {
+			m.And(r.Reach)
+		} else if len(plan.Edges) > 1 {
+			// The matrix may be shared via the memo and ANDed by a
+			// parallel edge later; keep shared results immutable.
+			matrices[k] = r.Reach.Clone()
+		} else {
+			matrices[k] = r.Reach
+		}
+	}
+
+	in := &mintersect.Input{
+		NumPatternVertices: n,
+		FirstCols:          plan.CandList[plan.Order[0]],
+		RowCandidates:      make([][]graph.VertexID, n),
+		Ext:                make([][]*mintersect.EdgeMatrix, n),
+	}
+	for t := 1; t < n; t++ {
+		in.RowCandidates[t] = plan.CandList[plan.Order[t]]
+	}
+	for k, m := range matrices {
+		em := &mintersect.EdgeMatrix{EarlierPos: k.earlier, M: m}
+		if k.earlier == 0 && k.later == 1 {
+			in.First = em
+		} else {
+			in.Ext[k.later] = append(in.Ext[k.later], em)
+		}
+	}
+	// Deterministic extension order (map iteration above is random).
+	for t := 2; t < n; t++ {
+		exts := in.Ext[t]
+		sort.Slice(exts, func(a, b int) bool { return exts[a].EarlierPos < exts[b].EarlierPos })
+	}
+	return in, nil
+}
+
+// MatchForEach runs the pattern and streams every distinct matched tuple
+// to fn, in pattern declaration order, without materializing the result
+// set. The tuple slice is reused between calls — copy it to retain it.
+// Streaming runs the join serially (no seed partitioning).
+func (e *Engine) MatchForEach(pat *pattern.Pattern, fn func(tuple []graph.VertexID)) error {
+	plan, err := planner.Build(e.g, pat)
+	if err != nil {
+		return err
+	}
+	n := len(pat.Vertices)
+	if n == 1 {
+		buf := make([]graph.VertexID, 1)
+		for _, v := range plan.CandList[0] {
+			buf[0] = v
+			fn(buf)
+		}
+		return nil
+	}
+	res := &MatchResult{}
+	in, err := e.buildJoinInput(plan, res)
+	if err != nil {
+		return err
+	}
+	buf := make([]graph.VertexID, n)
+	var jr mintersect.Result
+	return mintersect.ForEach(in, mintersect.Options{}, func(tuple []graph.VertexID) {
+		for pos, v := range tuple {
+			buf[plan.Order[pos]] = v
+		}
+		fn(buf)
+	}, &jr)
+}
+
+// Expand exposes the VExpand operator directly: reachability from sources
+// under d, with the engine's kernel and worker settings.
+func (e *Engine) Expand(sources []graph.VertexID, d pattern.Determiner, keepPerStep bool) (*vexpand.Result, error) {
+	return vexpand.Expand(e.g, sources, d, vexpand.Options{
+		Kernel:      e.opts.Kernel,
+		Workers:     e.opts.Workers,
+		KeepPerStep: keepPerStep,
+	})
+}
+
+// candidateBitmap evaluates a pattern vertex against the graph.
+func (e *Engine) candidateBitmap(v pattern.Vertex) (*bitmatrix.Bitmap, error) {
+	return pattern.Candidates(e.g, v)
+}
+
+// vertexByID resolves an int64 "id" property to a vertex.
+func (e *Engine) vertexByID(id int64) (graph.VertexID, error) {
+	v, ok := e.g.FindByInt64("id", id)
+	if !ok {
+		return 0, fmt.Errorf("engine: no vertex with id %d", id)
+	}
+	return v, nil
+}
+
+// Explain plans pat and renders the plan (§5.2's decisions: candidate
+// sizes, join order, expansion orientations and estimates) without
+// executing it.
+func (e *Engine) Explain(pat *pattern.Pattern) (string, error) {
+	plan, err := planner.Build(e.g, pat)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(pat), nil
+}

@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// bruteForceMatch enumerates all matches of pat on g directly from the
+// definitions: candidates per vertex, reachability per edge via walk/BFS
+// oracles, injective binding.
+func bruteForceMatch(t *testing.T, g *graph.Graph, pat *pattern.Pattern) [][]graph.VertexID {
+	t.Helper()
+	n := len(pat.Vertices)
+	cands := make([][]graph.VertexID, n)
+	for i, v := range pat.Vertices {
+		bm, err := pattern.Candidates(g, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm.ForEach(func(x int) { cands[i] = append(cands[i], graph.VertexID(x)) })
+	}
+	// reach[e][u] = set of v with D(u, v).
+	reach := make([]map[graph.VertexID]map[int]bool, len(pat.Edges))
+	for ei, e := range pat.Edges {
+		si := pat.VertexIndex(e.Src)
+		reach[ei] = map[graph.VertexID]map[int]bool{}
+		for _, u := range cands[si] {
+			reach[ei][u] = reachOracle(g, u, e.D)
+		}
+	}
+	var out [][]graph.VertexID
+	tuple := make([]graph.VertexID, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			out = append(out, append([]graph.VertexID(nil), tuple...))
+			return
+		}
+		for _, v := range cands[i] {
+			dup := false
+			for j := 0; j < i; j++ {
+				if tuple[j] == v {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			tuple[i] = v
+			ok := true
+			for ei, e := range pat.Edges {
+				si, di := pat.VertexIndex(e.Src), pat.VertexIndex(e.Dst)
+				if si > i || di > i {
+					continue // not fully bound yet
+				}
+				if !reach[ei][tuple[si]][int(tuple[di])] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(i + 1)
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+// reachOracle is the walk/shortest oracle shared with the other tests.
+func reachOracle(g *graph.Graph, v graph.VertexID, d pattern.Determiner) map[int]bool {
+	sets, err := g.EdgeSets(d.EdgeLabels)
+	if err != nil {
+		panic(err)
+	}
+	out := map[int]bool{}
+	cur := map[int]bool{int(v): true}
+	visited := map[int]bool{int(v): true}
+	if d.KMin == 0 {
+		out[int(v)] = true
+	}
+	kmax := d.KMax
+	if kmax == pattern.Unbounded {
+		kmax = g.NumVertices()
+	}
+	for step := 1; step <= kmax; step++ {
+		next := map[int]bool{}
+		for u := range cur {
+			for _, es := range sets {
+				for _, w := range es.Neighbors(graph.VertexID(u), d.Dir) {
+					next[int(w)] = true
+				}
+			}
+		}
+		if d.Type == pattern.Shortest {
+			for u := range visited {
+				delete(next, u)
+			}
+			for u := range next {
+				visited[u] = true
+			}
+		}
+		if step >= d.KMin {
+			for u := range next {
+				out[u] = true
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		cur = next
+	}
+	return out
+}
+
+func sortTuples(ts [][]graph.VertexID) {
+	sort.Slice(ts, func(i, j int) bool {
+		for k := range ts[i] {
+			if ts[i][k] != ts[j][k] {
+				return ts[i][k] < ts[j][k]
+			}
+		}
+		return false
+	})
+}
+
+// Property: Match agrees with brute force on random graphs and random
+// connected patterns of 2–4 vertices with mixed determiners.
+func TestQuickMatchAgainstBruteForce(t *testing.T) {
+	labels := []string{"L0", "L1", "L2", "L3"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nV := 15 + rng.Intn(25)
+		b := graph.NewBuilder(nV)
+		for v := 0; v < nV; v++ {
+			// Round-robin base labels guarantee every label exists (an
+			// entirely-unused label is a query error by design), plus a
+			// random extra label on some vertices.
+			b.SetLabel(graph.VertexID(v), labels[v%len(labels)])
+			if rng.Intn(3) == 0 {
+				b.SetLabel(graph.VertexID(v), labels[rng.Intn(len(labels))])
+			}
+		}
+		// Two edge labels, both guaranteed present.
+		b.AddEdge("e1", 0, uint32(1%nV))
+		b.AddEdge("e2", uint32(1%nV), 0)
+		m := rng.Intn(3 * nV)
+		for i := 0; i < m; i++ {
+			label := []string{"e1", "e2"}[rng.Intn(2)]
+			b.AddEdge(label, uint32(rng.Intn(nV)), uint32(rng.Intn(nV)))
+		}
+		g := b.MustBuild()
+
+		nP := 2 + rng.Intn(3)
+		pat := &pattern.Pattern{}
+		for i := 0; i < nP; i++ {
+			pat.Vertices = append(pat.Vertices, pattern.Vertex{
+				Name:   string(rune('a' + i)),
+				Labels: []string{labels[rng.Intn(len(labels))]},
+			})
+		}
+		mkDet := func() pattern.Determiner {
+			d := pattern.Determiner{
+				KMin:       1 + rng.Intn(2),
+				Dir:        graph.Direction(rng.Intn(3)),
+				Type:       pattern.PathType(rng.Intn(2)),
+				EdgeLabels: [][]string{{"e1"}, {"e2"}, {"e1", "e2"}}[rng.Intn(3)],
+			}
+			d.KMax = d.KMin + rng.Intn(3)
+			return d
+		}
+		// Spanning tree + occasional extra edge.
+		for i := 1; i < nP; i++ {
+			j := rng.Intn(i)
+			pat.Edges = append(pat.Edges, pattern.Edge{
+				Src: pat.Vertices[j].Name, Dst: pat.Vertices[i].Name, D: mkDet(),
+			})
+		}
+		if nP > 2 && rng.Intn(2) == 0 {
+			pat.Edges = append(pat.Edges, pattern.Edge{
+				Src: pat.Vertices[0].Name, Dst: pat.Vertices[nP-1].Name, D: mkDet(),
+			})
+		}
+
+		eng := New(g, Options{})
+		res, err := eng.Match(pat, MatchOptions{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want := bruteForceMatch(t, g, pat)
+		got := res.Tuples
+		sortTuples(got)
+		sortTuples(want)
+		if len(got) == 0 && len(want) == 0 {
+			// continue to count check
+		} else if !reflect.DeepEqual(got, want) {
+			t.Logf("seed %d: got %d tuples, want %d", seed, len(got), len(want))
+			return false
+		}
+		cres, err := eng.Match(pat, MatchOptions{CountOnly: true})
+		if err != nil {
+			return false
+		}
+		return cres.Count == int64(len(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

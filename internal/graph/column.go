@@ -1,0 +1,112 @@
+package graph
+
+import "fmt"
+
+// ColumnKind enumerates the supported property column types.
+type ColumnKind int
+
+const (
+	// KindInt64 is a 64-bit integer column.
+	KindInt64 ColumnKind = iota
+	// KindFloat64 is a 64-bit float column.
+	KindFloat64
+	// KindString is a string column.
+	KindString
+	// KindBool is a boolean column.
+	KindBool
+)
+
+// String names the kind.
+func (k ColumnKind) String() string {
+	switch k {
+	case KindInt64:
+		return "int64"
+	case KindFloat64:
+		return "float64"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("ColumnKind(%d)", int(k))
+	}
+}
+
+// Column is a typed columnar vertex property (§5.3: properties of vertices
+// are stored separately, one column per property).
+type Column interface {
+	// Len returns the number of rows.
+	Len() int
+	// Kind returns the element type.
+	Kind() ColumnKind
+	// Value returns row i boxed; intended for generic result rendering.
+	Value(i int) any
+	// SizeBytes estimates the column's memory footprint.
+	SizeBytes() int64
+}
+
+// Int64Column is a column of int64 values, one per vertex.
+type Int64Column []int64
+
+// Len implements Column.
+func (c Int64Column) Len() int { return len(c) }
+
+// Kind implements Column.
+func (c Int64Column) Kind() ColumnKind { return KindInt64 }
+
+// Value implements Column.
+func (c Int64Column) Value(i int) any { return c[i] }
+
+// SizeBytes implements Column.
+func (c Int64Column) SizeBytes() int64 { return int64(len(c)) * 8 }
+
+// Float64Column is a column of float64 values.
+type Float64Column []float64
+
+// Len implements Column.
+func (c Float64Column) Len() int { return len(c) }
+
+// Kind implements Column.
+func (c Float64Column) Kind() ColumnKind { return KindFloat64 }
+
+// Value implements Column.
+func (c Float64Column) Value(i int) any { return c[i] }
+
+// SizeBytes implements Column.
+func (c Float64Column) SizeBytes() int64 { return int64(len(c)) * 8 }
+
+// StringColumn is a column of string values.
+type StringColumn []string
+
+// Len implements Column.
+func (c StringColumn) Len() int { return len(c) }
+
+// Kind implements Column.
+func (c StringColumn) Kind() ColumnKind { return KindString }
+
+// Value implements Column.
+func (c StringColumn) Value(i int) any { return c[i] }
+
+// SizeBytes implements Column.
+func (c StringColumn) SizeBytes() int64 {
+	var total int64
+	for _, s := range c {
+		total += int64(len(s)) + 16
+	}
+	return total
+}
+
+// BoolColumn is a column of booleans.
+type BoolColumn []bool
+
+// Len implements Column.
+func (c BoolColumn) Len() int { return len(c) }
+
+// Kind implements Column.
+func (c BoolColumn) Kind() ColumnKind { return KindBool }
+
+// Value implements Column.
+func (c BoolColumn) Value(i int) any { return c[i] }
+
+// SizeBytes implements Column.
+func (c BoolColumn) SizeBytes() int64 { return int64(len(c)) }

@@ -1,0 +1,108 @@
+// Package hilbert implements the Hilbert space-filling curve mapping used to
+// order COO edge lists (§4.2 of the VertexSurge paper).
+//
+// Sorting edges (src, dst) by their position along a Hilbert curve over the
+// (src, dst) plane makes consecutive edges touch nearby rows of both the
+// source and the destination bit matrices, which is what makes the lookahead
+// prefetch in the expand kernel effective and the traversal cache-oblivious.
+package hilbert
+
+import "sort"
+
+// D returns the distance along the Hilbert curve of order `order` (a 2^order
+// × 2^order grid) for the cell (x, y). x and y must be < 2^order.
+func D(order uint, x, y uint32) uint64 {
+	var rx, ry uint32
+	var d uint64
+	for s := uint32(1) << (order - 1); s > 0; s >>= 1 {
+		if x&s > 0 {
+			rx = 1
+		} else {
+			rx = 0
+		}
+		if y&s > 0 {
+			ry = 1
+		} else {
+			ry = 0
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		x, y = rot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// XY is the inverse of D: it returns the cell (x, y) at distance d along the
+// Hilbert curve of the given order.
+func XY(order uint, d uint64) (x, y uint32) {
+	t := d
+	for s := uint32(1); s < 1<<order; s <<= 1 {
+		rx := uint32(1) & uint32(t/2)
+		ry := uint32(1) & (uint32(t) ^ rx)
+		x, y = rot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// rot rotates/flips a quadrant appropriately.
+func rot(s, x, y, rx, ry uint32) (uint32, uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// OrderFor returns the smallest curve order whose grid covers coordinates in
+// [0, n).
+func OrderFor(n int) uint {
+	order := uint(1)
+	for (1 << order) < n {
+		order++
+	}
+	return order
+}
+
+// SortPairs sorts the parallel slices (xs, ys) in place by Hilbert distance
+// over a grid large enough to cover both coordinate spaces. It is the edge
+// reordering applied to COO edge lists before matrix-kernel expansion.
+func SortPairs(xs, ys []uint32) {
+	if len(xs) != len(ys) {
+		panic("hilbert: coordinate slices of different length")
+	}
+	if len(xs) == 0 {
+		return
+	}
+	maxC := uint32(0)
+	for i := range xs {
+		if xs[i] > maxC {
+			maxC = xs[i]
+		}
+		if ys[i] > maxC {
+			maxC = ys[i]
+		}
+	}
+	order := OrderFor(int(maxC) + 1)
+	keys := make([]uint64, len(xs))
+	for i := range xs {
+		keys[i] = D(order, xs[i], ys[i])
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	outX := make([]uint32, len(xs))
+	outY := make([]uint32, len(ys))
+	for i, j := range idx {
+		outX[i] = xs[j]
+		outY[i] = ys[j]
+	}
+	copy(xs, outX)
+	copy(ys, outY)
+}

@@ -1,0 +1,351 @@
+// Package mintersect implements VertexSurge's MIntersect operator (§5.1):
+// a Generic Join (worst-case optimal join) over the reachability bit
+// matrices produced by VExpand.
+//
+// Pattern vertices are processed in a planner-chosen order t0, t1, …,
+// t(n-1). The matrix of every pattern edge is oriented so that its *rows*
+// are the candidate vertices of the later endpoint in that order and its
+// *columns* are all graph vertices. Enumerating the first edge's pairs and
+// then, for each later vertex, AND-ing together one column from each matrix
+// that connects it to already-bound vertices (Figure 5's intersec_col)
+// yields exactly the matched tuples, each produced once.
+package mintersect
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/bitmatrix"
+	"repro/internal/graph"
+)
+
+// EdgeMatrix is the reachability matrix of one pattern edge, oriented for
+// the join order: row i corresponds to Rows[i], a candidate of the
+// later-ordered endpoint; column j corresponds to graph vertex j. Bit
+// (i, j) means the edge's determiner holds between Rows[i] and j.
+type EdgeMatrix struct {
+	// EarlierPos is the join-order position of the already-bound endpoint
+	// whose binding selects the column to fetch.
+	EarlierPos int
+	// M is the reachability matrix (rows = candidates, cols = |V|).
+	M *bitmatrix.Matrix
+}
+
+// Input describes one MIntersect invocation.
+type Input struct {
+	// NumPatternVertices is n, the number of pattern vertices (≥ 2).
+	NumPatternVertices int
+	// FirstCols are the candidates of join-order position 0, whose
+	// columns of First are scanned to enumerate the seed pairs.
+	FirstCols []graph.VertexID
+	// First is the matrix of the edge between positions 0 and 1, with
+	// rows = candidates of position 1.
+	First *EdgeMatrix
+	// RowCandidates[t] lists the candidates of position t (t ≥ 1); row i
+	// of every matrix for position t corresponds to RowCandidates[t][i].
+	RowCandidates [][]graph.VertexID
+	// Ext[t] (t ≥ 2) holds one EdgeMatrix per pattern edge between
+	// position t and an earlier position. Every position ≥ 2 must have at
+	// least one (patterns must be connected in join order).
+	Ext [][]*EdgeMatrix
+}
+
+// Options configures Run.
+type Options struct {
+	// CountOnly skips tuple materialization and uses the SIMD-popcount
+	// fast path on the final intersection (§5.1's counting optimization).
+	CountOnly bool
+	// Limit stops after this many tuples when materializing; 0 = no limit.
+	Limit int64
+	// Workers partitions the seed-pair enumeration across goroutines
+	// (each owns a FirstCols slice, so no writes conflict). Ignored when
+	// Limit is set (early stop is inherently sequential) or ≤ 1.
+	Workers int
+}
+
+// Stats reports operator effort.
+type Stats struct {
+	// Intersections is the number of column-AND operations performed.
+	Intersections int64
+	// SeedPairs is the number of first-edge pairs enumerated.
+	SeedPairs int64
+}
+
+// Result is the operator output: distinct matched tuples in join order.
+type Result struct {
+	Count  int64
+	Tuples [][]graph.VertexID
+	Stats  Stats
+}
+
+func (in *Input) validate() error {
+	n := in.NumPatternVertices
+	if n < 2 {
+		return fmt.Errorf("mintersect: need at least 2 pattern vertices, got %d", n)
+	}
+	if in.First == nil || in.First.M == nil {
+		return fmt.Errorf("mintersect: missing first edge matrix")
+	}
+	if len(in.RowCandidates) < n {
+		return fmt.Errorf("mintersect: RowCandidates has %d entries, want %d", len(in.RowCandidates), n)
+	}
+	if len(in.Ext) < n {
+		return fmt.Errorf("mintersect: Ext has %d entries, want %d", len(in.Ext), n)
+	}
+	for t := 2; t < n; t++ {
+		if len(in.Ext[t]) == 0 {
+			return fmt.Errorf("mintersect: position %d has no connecting edge (disconnected join order)", t)
+		}
+		for _, em := range in.Ext[t] {
+			if em.EarlierPos < 0 || em.EarlierPos >= t {
+				return fmt.Errorf("mintersect: position %d references invalid earlier position %d", t, em.EarlierPos)
+			}
+			if em.M.Rows() != len(in.RowCandidates[t]) {
+				return fmt.Errorf("mintersect: position %d matrix has %d rows, want %d",
+					t, em.M.Rows(), len(in.RowCandidates[t]))
+			}
+		}
+	}
+	if in.First.M.Rows() != len(in.RowCandidates[1]) {
+		return fmt.Errorf("mintersect: first matrix has %d rows, want %d",
+			in.First.M.Rows(), len(in.RowCandidates[1]))
+	}
+	return nil
+}
+
+// Run executes the Generic Join and returns the distinct matched tuples (or
+// only their count). Tuples are in join order; callers map positions back
+// to pattern vertex names. Matched vertices within one tuple are pairwise
+// distinct (Definition 3 requires the match to be a bijection).
+//
+// With Options.Workers > 1 (and no Limit), the seed columns are
+// partitioned across goroutines; the merged result is deterministic
+// because partitions preserve FirstCols order.
+func Run(in *Input, opts Options) (*Result, error) {
+	workers := opts.Workers
+	if workers > len(in.FirstCols) {
+		workers = len(in.FirstCols)
+	}
+	if workers <= 1 || opts.Limit > 0 {
+		return runSerial(in, opts)
+	}
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+
+	parts := make([]*Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	per := (len(in.FirstCols) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > len(in.FirstCols) {
+			hi = len(in.FirstCols)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sub := *in
+			sub.FirstCols = in.FirstCols[lo:hi]
+			parts[w], errs[w] = runSerial(&sub, Options{CountOnly: opts.CountOnly})
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	res := &Result{}
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		if parts[w] == nil {
+			continue
+		}
+		res.Count += parts[w].Count
+		res.Tuples = append(res.Tuples, parts[w].Tuples...)
+		res.Stats.Intersections += parts[w].Stats.Intersections
+		res.Stats.SeedPairs += parts[w].Stats.SeedPairs
+	}
+	return res, nil
+}
+
+func runSerial(in *Input, opts Options) (*Result, error) {
+	res := &Result{}
+	err := ForEach(in, opts, func(tuple []graph.VertexID) {
+		if !opts.CountOnly {
+			res.Tuples = append(res.Tuples, append([]graph.VertexID(nil), tuple...))
+		}
+	}, res)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ForEach runs the join, invoking fn for each materialized tuple. When
+// opts.CountOnly is set fn is never called and only statistics and the
+// count accumulate in res.
+func ForEach(in *Input, opts Options, fn func(tuple []graph.VertexID), res *Result) error {
+	if err := in.validate(); err != nil {
+		return err
+	}
+	e := &executor{
+		in:    in,
+		opts:  opts,
+		fn:    fn,
+		res:   res,
+		bound: make([]graph.VertexID, in.NumPatternVertices),
+	}
+	// Row-index maps for bijection enforcement: position → vertex → row.
+	e.rowIndex = make([]map[graph.VertexID]int, in.NumPatternVertices)
+	for t := 1; t < in.NumPatternVertices; t++ {
+		idx := make(map[graph.VertexID]int, len(in.RowCandidates[t]))
+		for i, v := range in.RowCandidates[t] {
+			idx[v] = i
+		}
+		e.rowIndex[t] = idx
+	}
+	// Scratch intersection buffers, one per recursion level.
+	e.scratch = make([][]uint64, in.NumPatternVertices)
+	for t := 2; t < in.NumPatternVertices; t++ {
+		stacks := in.Ext[t][0].M.Stacks()
+		e.scratch[t] = make([]uint64, stacks*bitmatrix.WordsPerColumn)
+	}
+	return e.run()
+}
+
+type executor struct {
+	in       *Input
+	opts     Options
+	fn       func([]graph.VertexID)
+	res      *Result
+	bound    []graph.VertexID
+	rowIndex []map[graph.VertexID]int
+	scratch  [][]uint64
+	stopped  bool
+}
+
+func (e *executor) run() error {
+	first := e.in.First.M
+	cand1 := e.in.RowCandidates[1]
+	n := e.in.NumPatternVertices
+	for _, c0 := range e.in.FirstCols {
+		if e.stopped {
+			break
+		}
+		e.bound[0] = c0
+		if n == 2 && e.opts.CountOnly {
+			// Counting fast path: popcount the column, excluding a
+			// self-match of c0 (bijection).
+			cnt := first.ColumnPopCount(int(c0))
+			if row, ok := e.rowIndex[1][c0]; ok && first.Get(row, int(c0)) {
+				cnt--
+			}
+			e.res.Count += int64(cnt)
+			e.res.Stats.SeedPairs += int64(cnt)
+			continue
+		}
+		first.ForEachInColumn(int(c0), func(row int) {
+			if e.stopped {
+				return
+			}
+			v1 := cand1[row]
+			if v1 == c0 {
+				return // bijection: θ must be injective
+			}
+			e.res.Stats.SeedPairs++
+			e.bound[1] = v1
+			e.extend(2)
+		})
+	}
+	return nil
+}
+
+// extend binds join position t by intersecting the columns selected by the
+// already-bound vertices, then recurses (Generic Join's extension step).
+func (e *executor) extend(t int) {
+	n := e.in.NumPatternVertices
+	if t == n {
+		e.emit()
+		return
+	}
+	mats := e.in.Ext[t]
+	scratch := e.scratch[t]
+	// Seed with the first matrix's column, AND the rest (intersec_col).
+	firstMat := mats[0]
+	copyColumn(scratch, firstMat.M, int(e.bound[firstMat.EarlierPos]))
+	e.res.Stats.Intersections++
+	for _, em := range mats[1:] {
+		andColumn(scratch, em.M, int(e.bound[em.EarlierPos]))
+		e.res.Stats.Intersections++
+	}
+	// Bijection: clear rows of already-bound vertices that appear among
+	// this position's candidates.
+	for i := 0; i < t; i++ {
+		if row, ok := e.rowIndex[t][e.bound[i]]; ok {
+			scratch[row/64] &^= 1 << uint(row%64)
+		}
+	}
+	cands := e.in.RowCandidates[t]
+	if t == n-1 && e.opts.CountOnly {
+		// Last position and only the count is needed: popcount the
+		// intersection (the paper's aggregation fast path).
+		total := 0
+		for _, w := range scratch {
+			total += bits.OnesCount64(w)
+		}
+		e.res.Count += int64(total)
+		return
+	}
+	for wi, word := range scratch {
+		for word != 0 {
+			tz := bits.TrailingZeros64(word)
+			word &= word - 1
+			row := wi*64 + tz
+			if row >= len(cands) {
+				break
+			}
+			e.bound[t] = cands[row]
+			e.extend(t + 1)
+			if e.stopped {
+				return
+			}
+		}
+	}
+}
+
+func (e *executor) emit() {
+	e.res.Count++
+	if !e.opts.CountOnly && e.fn != nil {
+		e.fn(e.bound)
+	}
+	if e.opts.Limit > 0 && e.res.Count >= e.opts.Limit {
+		e.stopped = true
+	}
+}
+
+// copyColumn copies column c of m (all stacks) into dst.
+func copyColumn(dst []uint64, m *bitmatrix.Matrix, c int) {
+	for s := 0; s < m.Stacks(); s++ {
+		copy(dst[s*bitmatrix.WordsPerColumn:(s+1)*bitmatrix.WordsPerColumn], m.ColumnWords(s, c))
+	}
+}
+
+// andColumn ANDs column c of m into dst, the Go stand-in for the paper's
+// SIMD bitwise-AND of matrix columns.
+func andColumn(dst []uint64, m *bitmatrix.Matrix, c int) {
+	for s := 0; s < m.Stacks(); s++ {
+		w := m.ColumnWords(s, c)
+		d := dst[s*bitmatrix.WordsPerColumn : (s+1)*bitmatrix.WordsPerColumn]
+		d[0] &= w[0]
+		d[1] &= w[1]
+		d[2] &= w[2]
+		d[3] &= w[3]
+		d[4] &= w[4]
+		d[5] &= w[5]
+		d[6] &= w[6]
+		d[7] &= w[7]
+	}
+}

@@ -1,0 +1,396 @@
+// Package pattern defines Variable-Length Graph Patterns (VLGPs): the
+// pattern vertices, variable-length path determiners, and property
+// constraints of Definitions 2 and 3 of the VertexSurge paper.
+package pattern
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/bitmatrix"
+	"repro/internal/graph"
+)
+
+// PathType selects which paths a determiner accepts (Definition 2).
+type PathType int
+
+const (
+	// Any accepts d when it is reachable from s by kmin..kmax edges
+	// (walk semantics; §2.2).
+	Any PathType = iota
+	// Shortest accepts d when the shortest path from s to d has length
+	// in kmin..kmax.
+	Shortest
+)
+
+// String names the path type.
+func (t PathType) String() string {
+	switch t {
+	case Any:
+		return "ANY"
+	case Shortest:
+		return "SHORTEST"
+	default:
+		return fmt.Sprintf("PathType(%d)", int(t))
+	}
+}
+
+// Unbounded as KMax means "no maximum length" (Cypher's `*1..`); expansion
+// continues until the frontier empties.
+const Unbounded = math.MaxInt
+
+// Determiner is a variable-length path determiner D = (kmin, kmax, dir, t)
+// (Definition 2), extended with the edge labels the path may traverse —
+// multiple labels mean their union, as in the paper's Case 12
+// (`transfer|withdraw`).
+type Determiner struct {
+	KMin, KMax int
+	Dir        graph.Direction
+	Type       PathType
+	EdgeLabels []string
+	// EdgePropEq constrains traversable edges to those whose properties
+	// equal the given values (σ over edges; §5.3: a filter operator runs
+	// after the edge scan).
+	EdgePropEq map[string]any
+}
+
+// Validate checks the determiner's internal consistency.
+func (d Determiner) Validate() error {
+	if d.KMin < 0 {
+		return fmt.Errorf("pattern: kmin %d < 0", d.KMin)
+	}
+	if d.KMax < d.KMin {
+		return fmt.Errorf("pattern: kmax %d < kmin %d", d.KMax, d.KMin)
+	}
+	if d.KMax == Unbounded && d.Type != Shortest {
+		return fmt.Errorf("pattern: unbounded kmax requires SHORTEST path type")
+	}
+	return nil
+}
+
+// String renders the determiner in Cypher-like form.
+func (d Determiner) String() string {
+	kmax := "∞"
+	if d.KMax != Unbounded {
+		kmax = fmt.Sprint(d.KMax)
+	}
+	return fmt.Sprintf("(%d..%s, %s, %s, %v)", d.KMin, kmax, d.Dir, d.Type, d.EdgeLabels)
+}
+
+// Reverse returns the determiner as seen from the destination endpoint:
+// same lengths and type, flipped direction. VExpand uses it to start
+// expansion from the smaller side.
+func (d Determiner) Reverse() Determiner {
+	d.Dir = d.Dir.Flip()
+	return d
+}
+
+// ResolveEdgeSets resolves a determiner's edge labels against g and applies
+// its edge property constraints, returning the edge sets a kernel may
+// traverse. With constraints present, each set is scanned once and
+// filtered (§5.3), paying one CSR rebuild per query.
+func ResolveEdgeSets(g *graph.Graph, d Determiner) ([]*graph.EdgeSet, error) {
+	sets, err := g.EdgeSets(d.EdgeLabels)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.EdgePropEq) == 0 {
+		return sets, nil
+	}
+	out := make([]*graph.EdgeSet, 0, len(sets))
+	for _, es := range sets {
+		cols := make(map[string]graph.Column, len(d.EdgePropEq))
+		for name := range d.EdgePropEq {
+			col := es.Prop(name)
+			if col == nil {
+				return nil, fmt.Errorf("pattern: edge label %q has no property %q", es.Label(), name)
+			}
+			cols[name] = col
+		}
+		out = append(out, es.Filter(func(i int) bool {
+			for name, want := range d.EdgePropEq {
+				if !propEqual(cols[name].Value(i), want) {
+					return false
+				}
+			}
+			return true
+		}))
+	}
+	return out, nil
+}
+
+// CmpOp is a comparison operator for property predicates.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// String renders the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEq:
+		return "="
+	case CmpNe:
+		return "<>"
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// PropFilter is one property comparison predicate (`v.prop op value`).
+type PropFilter struct {
+	Prop  string
+	Op    CmpOp
+	Value any
+}
+
+// Vertex is a pattern vertex with its property comparator σ: required
+// labels, excluded labels (Case 2's `WHERE NOT q:SIGA`), property equality
+// (`{id:$id}`), and general comparisons (`WHERE loan.balance > 5000`).
+type Vertex struct {
+	Name      string
+	Labels    []string
+	NotLabels []string
+	PropEq    map[string]any
+	PropCmp   []PropFilter
+}
+
+// Edge is a pattern edge (s, d, D).
+type Edge struct {
+	Src, Dst string
+	D        Determiner
+}
+
+// Pattern is a VLGP P = (Vp, Ep, σ) (Definition 3).
+type Pattern struct {
+	Vertices []Vertex
+	Edges    []Edge
+}
+
+// VertexIndex returns the position of the named vertex, or -1.
+func (p *Pattern) VertexIndex(name string) int {
+	for i, v := range p.Vertices {
+		if v.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural consistency: unique non-empty vertex names,
+// edges referencing declared vertices (no self loops — a VLP from a vertex
+// to itself is not a meaningful walk constraint under DISTINCT semantics),
+// and valid determiners.
+func (p *Pattern) Validate() error {
+	if len(p.Vertices) == 0 {
+		return fmt.Errorf("pattern: no vertices")
+	}
+	seen := make(map[string]bool, len(p.Vertices))
+	for _, v := range p.Vertices {
+		if v.Name == "" {
+			return fmt.Errorf("pattern: vertex with empty name")
+		}
+		if seen[v.Name] {
+			return fmt.Errorf("pattern: duplicate vertex %q", v.Name)
+		}
+		seen[v.Name] = true
+	}
+	for _, e := range p.Edges {
+		if !seen[e.Src] {
+			return fmt.Errorf("pattern: edge references unknown vertex %q", e.Src)
+		}
+		if !seen[e.Dst] {
+			return fmt.Errorf("pattern: edge references unknown vertex %q", e.Dst)
+		}
+		if e.Src == e.Dst {
+			return fmt.Errorf("pattern: self-loop on %q", e.Src)
+		}
+		if err := e.D.Validate(); err != nil {
+			return fmt.Errorf("pattern: edge %s-%s: %w", e.Src, e.Dst, err)
+		}
+	}
+	return nil
+}
+
+// Candidates evaluates a pattern vertex's property comparator against g and
+// returns the bitmap of graph vertices that match: all required labels
+// present, no excluded label present, and all property equalities satisfied.
+// A vertex with no constraints matches everything.
+func Candidates(g *graph.Graph, v Vertex) (*bitmatrix.Bitmap, error) {
+	out := bitmatrix.NewBitmap(g.NumVertices())
+	first := true
+	for _, l := range v.Labels {
+		bm := g.Label(l)
+		if bm == nil {
+			return nil, fmt.Errorf("pattern: unknown vertex label %q", l)
+		}
+		if first {
+			out.CopyFrom(bm)
+			first = false
+		} else {
+			out.And(bm)
+		}
+	}
+	if first {
+		// No required labels: start from all vertices.
+		for i := 0; i < g.NumVertices(); i++ {
+			out.Set(i)
+		}
+	}
+	for _, l := range v.NotLabels {
+		if bm := g.Label(l); bm != nil {
+			out.AndNot(bm)
+		}
+	}
+	for name, want := range v.PropEq {
+		col := g.Prop(name)
+		if col == nil {
+			return nil, fmt.Errorf("pattern: unknown vertex property %q", name)
+		}
+		filtered := bitmatrix.NewBitmap(g.NumVertices())
+		out.ForEach(func(i int) {
+			if propEqual(col.Value(i), want) {
+				filtered.Set(i)
+			}
+		})
+		out = filtered
+	}
+	for _, pf := range v.PropCmp {
+		col := g.Prop(pf.Prop)
+		if col == nil {
+			return nil, fmt.Errorf("pattern: unknown vertex property %q", pf.Prop)
+		}
+		filtered := bitmatrix.NewBitmap(g.NumVertices())
+		var cmpErr error
+		out.ForEach(func(i int) {
+			ok, err := propCompare(col.Value(i), pf.Op, pf.Value)
+			if err != nil && cmpErr == nil {
+				cmpErr = err
+			}
+			if ok {
+				filtered.Set(i)
+			}
+		})
+		if cmpErr != nil {
+			return nil, cmpErr
+		}
+		out = filtered
+	}
+	return out, nil
+}
+
+// propCompare evaluates `have op want`. Numeric values compare across
+// int/int64/float64; strings compare lexicographically; booleans support
+// only equality operators.
+func propCompare(have any, op CmpOp, want any) (bool, error) {
+	switch op {
+	case CmpEq:
+		return propEqual(have, want), nil
+	case CmpNe:
+		return !propEqual(have, want), nil
+	}
+	// Ordering operators.
+	hf, hok := toNumber(have)
+	wf, wok := toNumber(want)
+	if hok && wok {
+		return ordHolds(op, compareFloats(hf, wf)), nil
+	}
+	hs, hok2 := have.(string)
+	ws, wok2 := want.(string)
+	if hok2 && wok2 {
+		return ordHolds(op, strings.Compare(hs, ws)), nil
+	}
+	return false, fmt.Errorf("pattern: cannot order %T against %T", have, want)
+}
+
+func toNumber(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case float64:
+		return x, true
+	default:
+		return 0, false
+	}
+}
+
+func compareFloats(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func ordHolds(op CmpOp, c int) bool {
+	switch op {
+	case CmpLt:
+		return c < 0
+	case CmpLe:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	case CmpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// propEqual compares a column value against a query constant, tolerating
+// int/int64/float64 literal types coming from parsed queries.
+func propEqual(have, want any) bool {
+	switch w := want.(type) {
+	case int:
+		return asInt64(have) == int64(w)
+	case int64:
+		return asInt64(have) == w
+	case float64:
+		if f, ok := have.(float64); ok {
+			return f == w
+		}
+		return float64(asInt64(have)) == w
+	case string:
+		s, ok := have.(string)
+		return ok && s == w
+	case bool:
+		b, ok := have.(bool)
+		return ok && b == w
+	default:
+		return have == want
+	}
+}
+
+func asInt64(v any) int64 {
+	switch x := v.(type) {
+	case int64:
+		return x
+	case int:
+		return int64(x)
+	case float64:
+		return int64(x)
+	default:
+		return math.MinInt64
+	}
+}

@@ -1,0 +1,235 @@
+package pattern
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(6)
+	for v := 0; v < 6; v++ {
+		b.SetLabel(graph.VertexID(v), "Person")
+	}
+	b.SetLabel(0, "SIGA").SetLabel(1, "SIGA")
+	b.SetLabel(2, "SIGB")
+	b.SetLabel(3, "SIGC").SetLabel(4, "SIGC")
+	b.SetProp("id", graph.Int64Column{100, 101, 102, 103, 104, 105})
+	b.SetProp("name", graph.StringColumn{"a", "b", "c", "d", "e", "f"})
+	b.SetProp("blocked", graph.BoolColumn{false, true, false, false, true, false})
+	b.AddEdge("knows", 0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDeterminerValidate(t *testing.T) {
+	good := Determiner{KMin: 1, KMax: 3, Dir: graph.Both, Type: Any}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid determiner rejected: %v", err)
+	}
+	bad := []Determiner{
+		{KMin: -1, KMax: 3},
+		{KMin: 2, KMax: 1},
+		{KMin: 1, KMax: Unbounded, Type: Any},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("invalid determiner %v accepted", d)
+		}
+	}
+	unbounded := Determiner{KMin: 1, KMax: Unbounded, Type: Shortest}
+	if err := unbounded.Validate(); err != nil {
+		t.Fatalf("unbounded shortest rejected: %v", err)
+	}
+}
+
+func TestDeterminerReverse(t *testing.T) {
+	d := Determiner{KMin: 1, KMax: 3, Dir: graph.Forward, Type: Any, EdgeLabels: []string{"transfer"}}
+	r := d.Reverse()
+	if r.Dir != graph.Reverse || r.KMin != 1 || r.KMax != 3 || r.Type != Any {
+		t.Fatalf("Reverse = %v", r)
+	}
+	if d.Dir != graph.Forward {
+		t.Fatal("Reverse mutated receiver")
+	}
+}
+
+func TestDeterminerString(t *testing.T) {
+	d := Determiner{KMin: 1, KMax: Unbounded, Dir: graph.Forward, Type: Shortest, EdgeLabels: []string{"t"}}
+	s := d.String()
+	if !strings.Contains(s, "∞") || !strings.Contains(s, "SHORTEST") {
+		t.Fatalf("String = %q", s)
+	}
+	if Any.String() != "ANY" || Shortest.String() != "SHORTEST" {
+		t.Fatal("PathType.String wrong")
+	}
+}
+
+func communityTriangle() *Pattern {
+	d := Determiner{KMin: 1, KMax: 2, Dir: graph.Both, Type: Any, EdgeLabels: []string{"knows"}}
+	return &Pattern{
+		Vertices: []Vertex{
+			{Name: "a", Labels: []string{"Person", "SIGA"}},
+			{Name: "b", Labels: []string{"Person", "SIGB"}},
+			{Name: "c", Labels: []string{"Person", "SIGC"}},
+		},
+		Edges: []Edge{
+			{Src: "a", Dst: "b", D: d},
+			{Src: "b", Dst: "c", D: d},
+			{Src: "a", Dst: "c", D: d},
+		},
+	}
+}
+
+func TestPatternValidate(t *testing.T) {
+	p := communityTriangle()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("community triangle rejected: %v", err)
+	}
+	if p.VertexIndex("b") != 1 || p.VertexIndex("zz") != -1 {
+		t.Fatal("VertexIndex wrong")
+	}
+
+	bad := []*Pattern{
+		{},
+		{Vertices: []Vertex{{Name: ""}}},
+		{Vertices: []Vertex{{Name: "a"}, {Name: "a"}}},
+		{Vertices: []Vertex{{Name: "a"}}, Edges: []Edge{{Src: "a", Dst: "x", D: Determiner{KMax: 1}}}},
+		{Vertices: []Vertex{{Name: "a"}}, Edges: []Edge{{Src: "x", Dst: "a", D: Determiner{KMax: 1}}}},
+		{Vertices: []Vertex{{Name: "a"}, {Name: "b"}}, Edges: []Edge{{Src: "a", Dst: "a", D: Determiner{KMax: 1}}}},
+		{Vertices: []Vertex{{Name: "a"}, {Name: "b"}}, Edges: []Edge{{Src: "a", Dst: "b", D: Determiner{KMin: 3, KMax: 1}}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad pattern %d accepted", i)
+		}
+	}
+}
+
+func TestCandidatesLabels(t *testing.T) {
+	g := testGraph(t)
+	bm, err := Candidates(g, Vertex{Name: "a", Labels: []string{"Person", "SIGA"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bm.Bits(); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("SIGA candidates = %v", got)
+	}
+	bm, err = Candidates(g, Vertex{Name: "q", Labels: []string{"Person"}, NotLabels: []string{"SIGA"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bm.Bits(); !reflect.DeepEqual(got, []int{2, 3, 4, 5}) {
+		t.Fatalf("NOT SIGA candidates = %v", got)
+	}
+}
+
+func TestCandidatesNoConstraints(t *testing.T) {
+	g := testGraph(t)
+	bm, err := Candidates(g, Vertex{Name: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.PopCount() != 6 {
+		t.Fatalf("unconstrained candidates = %d, want 6", bm.PopCount())
+	}
+}
+
+func TestCandidatesPropEq(t *testing.T) {
+	g := testGraph(t)
+	cases := []struct {
+		v    Vertex
+		want []int
+	}{
+		{Vertex{Name: "x", PropEq: map[string]any{"id": int64(102)}}, []int{2}},
+		{Vertex{Name: "x", PropEq: map[string]any{"id": 102}}, []int{2}},
+		{Vertex{Name: "x", PropEq: map[string]any{"id": float64(102)}}, []int{2}},
+		{Vertex{Name: "x", PropEq: map[string]any{"name": "e"}}, []int{4}},
+		{Vertex{Name: "x", PropEq: map[string]any{"blocked": true}}, []int{1, 4}},
+		{Vertex{Name: "x", Labels: []string{"SIGA"}, PropEq: map[string]any{"blocked": true}}, []int{1}},
+		{Vertex{Name: "x", PropEq: map[string]any{"id": int64(999)}}, nil},
+	}
+	for i, c := range cases {
+		bm, err := Candidates(g, c.v)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got := bm.Bits()
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("case %d: candidates = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestCandidatesErrors(t *testing.T) {
+	g := testGraph(t)
+	if _, err := Candidates(g, Vertex{Name: "x", Labels: []string{"Nope"}}); err == nil {
+		t.Fatal("unknown label accepted")
+	}
+	if _, err := Candidates(g, Vertex{Name: "x", PropEq: map[string]any{"nope": 1}}); err == nil {
+		t.Fatal("unknown property accepted")
+	}
+	// Unknown NotLabel is harmless (excluding nothing).
+	bm, err := Candidates(g, Vertex{Name: "x", NotLabels: []string{"Nope"}})
+	if err != nil || bm.PopCount() != 6 {
+		t.Fatalf("NotLabels(missing) = %v, %v", bm.PopCount(), err)
+	}
+}
+
+func TestPropEqualMixedNumerics(t *testing.T) {
+	if !propEqual(int64(5), 5) || !propEqual(int64(5), int64(5)) || !propEqual(int64(5), float64(5)) {
+		t.Fatal("int64 column comparisons failed")
+	}
+	if !propEqual(float64(2.5), 2.5) {
+		t.Fatal("float column comparison failed")
+	}
+	if propEqual("x", 5) || propEqual(int64(5), "5") || propEqual(true, 1) {
+		t.Fatal("cross-type comparisons should fail")
+	}
+	if !propEqual(true, true) || propEqual(false, true) {
+		t.Fatal("bool comparison wrong")
+	}
+}
+
+func TestResolveEdgeSetsWithFilter(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge("t", 0, 1).AddEdge("t", 1, 2)
+	b.SetEdgeProp("t", "amount", graph.Int64Column{100, 200})
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Determiner{KMin: 1, KMax: 1, Dir: graph.Forward, Type: Any,
+		EdgeLabels: []string{"t"}, EdgePropEq: map[string]any{"amount": 200}}
+	sets, err := ResolveEdgeSets(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 || sets[0].Len() != 1 {
+		t.Fatalf("filtered sets = %d with %d edges", len(sets), sets[0].Len())
+	}
+	if s, dst := sets[0].Edge(0); s != 1 || dst != 2 {
+		t.Fatalf("kept edge = (%d,%d)", s, dst)
+	}
+
+	// No constraint → original shared sets, no copy.
+	d.EdgePropEq = nil
+	sets, err = ResolveEdgeSets(g, d)
+	if err != nil || sets[0] != g.Edges("t") {
+		t.Fatalf("unfiltered resolution should return the shared set (%v)", err)
+	}
+
+	d.EdgePropEq = map[string]any{"nope": 1}
+	if _, err := ResolveEdgeSets(g, d); err == nil {
+		t.Fatal("unknown edge property accepted")
+	}
+}

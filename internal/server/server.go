@@ -1,0 +1,223 @@
+// Package server exposes a loaded graph as a read-only HTTP query service.
+// VertexSurge is a read-only VLGPM engine (§2.3.1), which makes the service
+// surface small: run queries, explain plans, inspect the graph.
+//
+// Endpoints:
+//
+//	POST /query    {"query": "...", "params": {...}}  → {"columns": [...], "rows": [...], "timings": {...}}
+//	POST /explain  {"query": "...", "params": {...}}  → {"plan": "..."}
+//	GET  /stats                                       → graph statistics
+//	GET  /healthz                                     → 200 ok
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/cypher"
+	"repro/internal/engine"
+)
+
+// Server is an http.Handler serving VLGPM queries over one graph.
+type Server struct {
+	eng *engine.Engine
+	mux *http.ServeMux
+}
+
+// New returns a server over eng.
+func New(eng *engine.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// QueryRequest is the body of POST /query and POST /explain.
+type QueryRequest struct {
+	Query string `json:"query"`
+	// Params maps parameter names to values; JSON numbers arrive as
+	// float64 and are normalized to int64 when integral, and []any lists
+	// of integral numbers become []int64 for UNWIND.
+	Params map[string]any `json:"params"`
+}
+
+// QueryResponse is the body of a successful POST /query.
+type QueryResponse struct {
+	Columns []string        `json:"columns"`
+	Rows    [][]any         `json:"rows"`
+	Timings TimingsResponse `json:"timings"`
+}
+
+// TimingsResponse is the stage breakdown in milliseconds.
+type TimingsResponse struct {
+	ScanMs        float64 `json:"scan_ms"`
+	ExpandMs      float64 `json:"expand_ms"`
+	UpdateVisitMs float64 `json:"update_visit_ms"`
+	IntersectMs   float64 `json:"intersect_ms"`
+	AggregateMs   float64 `json:"aggregate_ms"`
+	TotalMs       float64 `json:"total_ms"`
+}
+
+func toTimings(t engine.Timings, wall time.Duration) TimingsResponse {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	out := TimingsResponse{
+		ScanMs:        ms(t.Scan),
+		ExpandMs:      ms(t.Expand),
+		UpdateVisitMs: ms(t.UpdateVisit),
+		IntersectMs:   ms(t.Intersect),
+		AggregateMs:   ms(t.Aggregate),
+		TotalMs:       ms(t.Total),
+	}
+	if out.TotalMs == 0 {
+		out.TotalMs = ms(wall)
+	}
+	return out
+}
+
+// errorResponse is every endpoint's failure body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func decodeRequest(r *http.Request) (*QueryRequest, error) {
+	var req QueryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("bad request body: %w", err)
+	}
+	if req.Query == "" {
+		return nil, fmt.Errorf("missing query")
+	}
+	req.Params = normalizeParams(req.Params)
+	return &req, nil
+}
+
+// normalizeParams converts JSON's float64 numbers into the int64 values the
+// query layer expects, where they are integral.
+func normalizeParams(params map[string]any) map[string]any {
+	out := make(map[string]any, len(params))
+	for k, v := range params {
+		out[k] = normalizeValue(v)
+	}
+	return out
+}
+
+func normalizeValue(v any) any {
+	switch x := v.(type) {
+	case float64:
+		if x == float64(int64(x)) {
+			return int64(x)
+		}
+		return x
+	case []any:
+		ints := make([]int64, 0, len(x))
+		allInt := true
+		for _, e := range x {
+			f, ok := e.(float64)
+			if !ok || f != float64(int64(f)) {
+				allInt = false
+				break
+			}
+			ints = append(ints, int64(f))
+		}
+		if allInt && len(ints) == len(x) {
+			return ints
+		}
+		return x
+	default:
+		return v
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	q, err := cypher.Parse(req.Query)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	start := time.Now()
+	res, err := cypher.Run(s.eng, q, req.Params)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		return
+	}
+	rows := res.Rows
+	if rows == nil {
+		rows = [][]any{}
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Columns: res.Columns,
+		Rows:    rows,
+		Timings: toTimings(res.Timings, time.Since(start)),
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	q, err := cypher.Parse(req.Query)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	plan, err := cypher.ExplainQuery(s.eng, q, req.Params)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
+}
+
+// StatsResponse is GET /stats' body.
+type StatsResponse struct {
+	NumVertices  int            `json:"num_vertices"`
+	NumEdges     int            `json:"num_edges"`
+	VertexLabels map[string]int `json:"vertex_labels"`
+	EdgeLabels   map[string]int `json:"edge_labels"`
+	SizeBytes    int64          `json:"size_bytes"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	g := s.eng.Graph()
+	resp := StatsResponse{
+		NumVertices:  g.NumVertices(),
+		NumEdges:     g.NumEdges(),
+		VertexLabels: map[string]int{},
+		EdgeLabels:   map[string]int{},
+		SizeBytes:    g.SizeBytes(),
+	}
+	for _, l := range g.VertexLabels() {
+		resp.VertexLabels[l] = g.Label(l).PopCount()
+	}
+	for _, l := range g.EdgeLabels() {
+		resp.EdgeLabels[l] = g.Edges(l).Len()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

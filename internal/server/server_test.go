@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+func testServer(t testing.TB) (*httptest.Server, *graph.Graph) {
+	t.Helper()
+	g, err := datagen.SocialNetwork(datagen.SocialConfig{
+		NumVertices: 200, NumEdges: 700, Seed: 8, CommunityFraction: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(engine.New(g, engine.Options{})))
+	t.Cleanup(srv.Close)
+	return srv, g
+}
+
+func post(t *testing.T, srv *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, body := post(t, srv, "/query", QueryRequest{
+		Query: `MATCH (p:SIGA)-[:knows*1..2]-(q:SIGB) RETURN COUNT(DISTINCT p,q)`,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 1 || len(qr.Columns) != 1 {
+		t.Fatalf("response = %+v", qr)
+	}
+	if qr.Rows[0][0].(float64) < 0 {
+		t.Fatalf("count = %v", qr.Rows[0][0])
+	}
+	if qr.Timings.TotalMs <= 0 {
+		t.Fatalf("timings = %+v", qr.Timings)
+	}
+}
+
+func TestQueryWithParams(t *testing.T) {
+	srv, g := testServer(t)
+	// Pick two persons that definitely have neighbors (edge endpoints),
+	// so every UNWIND iteration yields a group row.
+	knows := g.Edges("knows")
+	a, b := knows.Edge(0)
+	ids := g.Prop("id").(graph.Int64Column)
+	idA, idB := float64(ids[a]), float64(ids[b])
+
+	resp, body := post(t, srv, "/query", QueryRequest{
+		Query:  `MATCH (p:Person {id:$id})-[:knows*1..2]-(q:Person) RETURN DISTINCT q`,
+		Params: map[string]any{"id": idA},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	// UNWIND with an integral JSON list.
+	resp, body = post(t, srv, "/query", QueryRequest{
+		Query:  `UNWIND $ids AS pid MATCH (p:Person {id:pid})-[:knows*2..3]-(q:Person) RETURN pid, COUNT(DISTINCT q)`,
+		Params: map[string]any{"ids": []any{idA, idB}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unwind status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 2 {
+		t.Fatalf("unwind rows = %d", len(qr.Rows))
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	for _, c := range []struct {
+		body   any
+		status int
+	}{
+		{QueryRequest{Query: ""}, http.StatusBadRequest},
+		{QueryRequest{Query: "MATCH oops"}, http.StatusBadRequest},
+		{QueryRequest{Query: "MATCH (p:NoSuchLabel)-[:knows]-(q) RETURN q"}, http.StatusUnprocessableEntity},
+		{map[string]any{"nope": 1}, http.StatusBadRequest},
+	} {
+		resp, body := post(t, srv, "/query", c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("body %v: status %d (%s), want %d", c.body, resp.StatusCode, body, c.status)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			t.Errorf("body %v: no error message (%s)", c.body, body)
+		}
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, body := post(t, srv, "/explain", QueryRequest{
+		Query: `MATCH (p:SIGA)-[:knows*1..2]-(q:SIGB) RETURN COUNT(DISTINCT p,q)`,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out map[string]string
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["plan"], "Join order") {
+		t.Fatalf("plan = %q", out["plan"])
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.NumVertices != 200 || st.NumEdges != 700 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.VertexLabels["Person"] != 200 || st.EdgeLabels["knows"] != 700 {
+		t.Fatalf("label counts = %+v", st)
+	}
+
+	h, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", h.StatusCode)
+	}
+
+	// Wrong method rejected by routing.
+	resp2, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query = %d, want 405", resp2.StatusCode)
+	}
+}
+
+func TestNormalizeValue(t *testing.T) {
+	cases := []struct {
+		in, want any
+	}{
+		{42.0, int64(42)},
+		{1.5, 1.5},
+		{"x", "x"},
+		{[]any{1.0, 2.0}, []int64{1, 2}},
+		{[]any{1.0, "a"}, []any{1.0, "a"}},
+		{[]any{1.5}, []any{1.5}},
+	}
+	for _, c := range cases {
+		if got := normalizeValue(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("normalizeValue(%#v) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/graph"
+)
+
+// writeColumn serializes a typed property column. Numeric and bool columns
+// are fixed-width little-endian; string columns are length-prefixed.
+func writeColumn(path string, col graph.Column) error {
+	var buf []byte
+	switch c := col.(type) {
+	case graph.Int64Column:
+		buf = make([]byte, len(c)*8)
+		for i, v := range c {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+		}
+	case graph.Float64Column:
+		buf = make([]byte, len(c)*8)
+		for i, v := range c {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+	case graph.BoolColumn:
+		buf = make([]byte, len(c))
+		for i, v := range c {
+			if v {
+				buf[i] = 1
+			}
+		}
+	case graph.StringColumn:
+		for _, s := range c {
+			var l [4]byte
+			binary.LittleEndian.PutUint32(l[:], uint32(len(s)))
+			buf = append(buf, l[:]...)
+			buf = append(buf, s...)
+		}
+	default:
+		return fmt.Errorf("storage: unsupported column type %T", col)
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// readColumn deserializes a column of the named kind with n rows.
+func readColumn(path, kind string, n int) (graph.Column, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	switch kind {
+	case "int64":
+		if len(data) != n*8 {
+			return nil, fmt.Errorf("storage: %s has %d bytes, want %d", path, len(data), n*8)
+		}
+		col := make(graph.Int64Column, n)
+		for i := range col {
+			col[i] = int64(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+		return col, nil
+	case "float64":
+		if len(data) != n*8 {
+			return nil, fmt.Errorf("storage: %s has %d bytes, want %d", path, len(data), n*8)
+		}
+		col := make(graph.Float64Column, n)
+		for i := range col {
+			col[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+		return col, nil
+	case "bool":
+		if len(data) != n {
+			return nil, fmt.Errorf("storage: %s has %d bytes, want %d", path, len(data), n)
+		}
+		col := make(graph.BoolColumn, n)
+		for i := range col {
+			col[i] = data[i] != 0
+		}
+		return col, nil
+	case "string":
+		col := make(graph.StringColumn, 0, n)
+		off := 0
+		for len(col) < n {
+			if off+4 > len(data) {
+				return nil, fmt.Errorf("storage: %s truncated at row %d", path, len(col))
+			}
+			l := int(binary.LittleEndian.Uint32(data[off:]))
+			off += 4
+			if off+l > len(data) {
+				return nil, fmt.Errorf("storage: %s truncated string at row %d", path, len(col))
+			}
+			col = append(col, string(data[off:off+l]))
+			off += l
+		}
+		if off != len(data) {
+			return nil, fmt.Errorf("storage: %s has %d trailing bytes", path, len(data)-off)
+		}
+		return col, nil
+	default:
+		return nil, fmt.Errorf("storage: unknown column kind %q", kind)
+	}
+}

@@ -1,0 +1,41 @@
+package storage
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestEdgePropsRoundTrip(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge("transfer", 0, 1).AddEdge("transfer", 1, 2).AddEdge("transfer", 2, 3)
+	b.SetEdgeProp("transfer", "flagged", graph.BoolColumn{true, false, true})
+	b.SetEdgeProp("transfer", "amount", graph.Float64Column{1.5, 2.5, 3.5})
+	b.AddEdge("own", 3, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Write(dir, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := g2.Edges("transfer")
+	if got := es.PropNames(); !reflect.DeepEqual(got, []string{"amount", "flagged"}) {
+		t.Fatalf("PropNames = %v", got)
+	}
+	if !reflect.DeepEqual(es.Prop("flagged"), graph.BoolColumn{true, false, true}) {
+		t.Fatalf("flagged = %v", es.Prop("flagged"))
+	}
+	if !reflect.DeepEqual(es.Prop("amount"), graph.Float64Column{1.5, 2.5, 3.5}) {
+		t.Fatalf("amount = %v", es.Prop("amount"))
+	}
+	if len(g2.Edges("own").PropNames()) != 0 {
+		t.Fatal("own gained properties")
+	}
+}

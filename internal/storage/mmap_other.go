@@ -1,0 +1,18 @@
+//go:build !linux
+
+package storage
+
+import (
+	"fmt"
+	"os"
+)
+
+// mapFile falls back to a plain read on platforms without the Linux mmap
+// path; the interface matches mmap_linux.go.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: %w", err)
+	}
+	return data, func() error { return nil }, nil
+}

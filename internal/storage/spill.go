@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/bitmatrix"
+)
+
+// SpillManager offloads intermediate bit matrices to disk when they exceed
+// memory. Following §5.3, each worker writes to a dedicated file, so
+// concurrent spills never contend; matrices are identified by a handle and
+// reloaded on demand.
+type SpillManager struct {
+	dir string
+
+	mu      sync.Mutex
+	files   map[int]*os.File // worker -> spill file
+	next    int
+	handles map[int]spillRecord
+	bytes   int64
+}
+
+type spillRecord struct {
+	worker     int
+	offset     int64
+	rows, cols int
+	words      int64
+}
+
+// Handle identifies a spilled matrix.
+type Handle int
+
+// NewSpillManager creates a manager rooted at dir (created if missing).
+func NewSpillManager(dir string) (*SpillManager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return &SpillManager{
+		dir:     dir,
+		files:   make(map[int]*os.File),
+		handles: make(map[int]spillRecord),
+	}, nil
+}
+
+// SpilledBytes reports the total bytes written so far.
+func (s *SpillManager) SpilledBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Spill writes m to worker's dedicated spill file and returns a handle.
+// Safe for concurrent use by distinct workers.
+func (s *SpillManager) Spill(worker int, m *bitmatrix.Matrix) (Handle, error) {
+	s.mu.Lock()
+	f, ok := s.files[worker]
+	if !ok {
+		var err error
+		f, err = os.OpenFile(filepath.Join(s.dir, fmt.Sprintf("worker-%d.spill", worker)),
+			os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+		if err != nil {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("storage: %w", err)
+		}
+		s.files[worker] = f
+	}
+	id := s.next
+	s.next++
+	s.mu.Unlock()
+
+	// Per-worker files mean only this goroutine appends to f.
+	off, err := f.Seek(0, 2)
+	if err != nil {
+		return 0, fmt.Errorf("storage: %w", err)
+	}
+	words := m.Words()
+	buf := make([]byte, len(words)*8)
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[i*8:], w)
+	}
+	if _, err := f.Write(buf); err != nil {
+		return 0, fmt.Errorf("storage: %w", err)
+	}
+
+	s.mu.Lock()
+	s.handles[id] = spillRecord{
+		worker: worker, offset: off,
+		rows: m.Rows(), cols: m.Cols(), words: int64(len(words)),
+	}
+	s.bytes += int64(len(buf))
+	s.mu.Unlock()
+	return Handle(id), nil
+}
+
+// Load reads a spilled matrix back into memory.
+func (s *SpillManager) Load(h Handle) (*bitmatrix.Matrix, error) {
+	s.mu.Lock()
+	rec, ok := s.handles[int(h)]
+	f := s.files[rec.worker]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown spill handle %d", h)
+	}
+	buf := make([]byte, rec.words*8)
+	if _, err := f.ReadAt(buf, rec.offset); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	m := bitmatrix.New(rec.rows, rec.cols)
+	words := m.Words()
+	if int64(len(words)) != rec.words {
+		return nil, fmt.Errorf("storage: spill record shape mismatch")
+	}
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return m, nil
+}
+
+// Close closes and removes all spill files.
+func (s *SpillManager) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, f := range s.files {
+		name := f.Name()
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := os.Remove(name); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.files = map[int]*os.File{}
+	s.handles = map[int]spillRecord{}
+	return first
+}

@@ -1,0 +1,208 @@
+// Package storage implements VertexSurge's disk-based design (§5.3):
+// graphs are stored in a columnar on-disk format — sources and destinations
+// of edges in per-label COO files, vertex properties in per-property column
+// files, label membership in bitmap files — described by a JSON metadata
+// manager. The read path maps edge files with mmap on Linux; a spill
+// manager gives each worker a dedicated file for intermediate bit matrices,
+// eliminating write conflicts.
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bitmatrix"
+	"repro/internal/graph"
+)
+
+// FormatVersion is bumped on incompatible layout changes.
+const FormatVersion = 1
+
+// Meta is the metadata manager's on-disk record: it lists which files hold
+// which edge labels, so the optimizer knows exactly what to scan (§5.3).
+type Meta struct {
+	Version      int            `json:"version"`
+	NumVertices  int            `json:"num_vertices"`
+	EdgeLabels   []EdgeFileMeta `json:"edge_labels"`
+	VertexLabels []string       `json:"vertex_labels"`
+	Properties   []PropFileMeta `json:"properties"`
+}
+
+// EdgeFileMeta describes one edge label's COO file and property columns.
+type EdgeFileMeta struct {
+	Label string         `json:"label"`
+	Count int            `json:"count"`
+	File  string         `json:"file"`
+	Props []PropFileMeta `json:"props,omitempty"`
+}
+
+// PropFileMeta describes one property column file.
+type PropFileMeta struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	File string `json:"file"`
+}
+
+// Write stores g under dir in the columnar format. dir is created if
+// needed; existing files are overwritten.
+func Write(dir string, g *graph.Graph) error {
+	for _, sub := range []string{"", "edges", "labels", "props"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+	}
+	meta := Meta{Version: FormatVersion, NumVertices: g.NumVertices()}
+
+	for _, label := range g.EdgeLabels() {
+		es := g.Edges(label)
+		rel := filepath.Join("edges", label+".coo")
+		if err := writeCOO(filepath.Join(dir, rel), es); err != nil {
+			return err
+		}
+		em := EdgeFileMeta{Label: label, Count: es.Len(), File: rel}
+		for _, name := range es.PropNames() {
+			col := es.Prop(name)
+			prel := filepath.Join("edges", label+"."+name+".col")
+			if err := writeColumn(filepath.Join(dir, prel), col); err != nil {
+				return err
+			}
+			em.Props = append(em.Props, PropFileMeta{Name: name, Kind: col.Kind().String(), File: prel})
+		}
+		meta.EdgeLabels = append(meta.EdgeLabels, em)
+	}
+	for _, label := range g.VertexLabels() {
+		if err := writeBitmap(filepath.Join(dir, "labels", label+".bits"), g.Label(label)); err != nil {
+			return err
+		}
+		meta.VertexLabels = append(meta.VertexLabels, label)
+	}
+	for _, name := range g.PropNames() {
+		col := g.Prop(name)
+		rel := filepath.Join("props", name+".col")
+		if err := writeColumn(filepath.Join(dir, rel), col); err != nil {
+			return err
+		}
+		meta.Properties = append(meta.Properties, PropFileMeta{
+			Name: name, Kind: col.Kind().String(), File: rel,
+		})
+	}
+	raw, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return os.WriteFile(filepath.Join(dir, "metadata.json"), raw, 0o644)
+}
+
+// ReadMeta loads and validates the metadata manager's record.
+func ReadMeta(dir string) (*Meta, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "metadata.json"))
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return nil, fmt.Errorf("storage: corrupt metadata: %w", err)
+	}
+	if meta.Version != FormatVersion {
+		return nil, fmt.Errorf("storage: format version %d, want %d", meta.Version, FormatVersion)
+	}
+	if meta.NumVertices < 0 {
+		return nil, fmt.Errorf("storage: negative vertex count")
+	}
+	return &meta, nil
+}
+
+// Open loads a stored graph. Edge COO files are read through mmap where
+// available (see mapFile), matching the paper's mmap-everything strategy.
+func Open(dir string) (*graph.Graph, error) {
+	meta, err := ReadMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(meta.NumVertices)
+	for _, em := range meta.EdgeLabels {
+		src, dst, err := readCOO(filepath.Join(dir, em.File), em.Count)
+		if err != nil {
+			return nil, err
+		}
+		b.AddEdges(em.Label, src, dst)
+		for _, pm := range em.Props {
+			col, err := readColumn(filepath.Join(dir, pm.File), pm.Kind, em.Count)
+			if err != nil {
+				return nil, err
+			}
+			b.SetEdgeProp(em.Label, pm.Name, col)
+		}
+	}
+	for _, label := range meta.VertexLabels {
+		bm, err := readBitmap(filepath.Join(dir, "labels", label+".bits"), meta.NumVertices)
+		if err != nil {
+			return nil, err
+		}
+		bm.ForEach(func(v int) { b.SetLabel(graph.VertexID(v), label) })
+	}
+	for _, pm := range meta.Properties {
+		col, err := readColumn(filepath.Join(dir, pm.File), pm.Kind, meta.NumVertices)
+		if err != nil {
+			return nil, err
+		}
+		b.SetProp(pm.Name, col)
+	}
+	return b.Build()
+}
+
+func writeCOO(path string, es *graph.EdgeSet) error {
+	buf := make([]byte, es.Len()*8)
+	for i := 0; i < es.Len(); i++ {
+		s, d := es.Edge(i)
+		binary.LittleEndian.PutUint32(buf[i*8:], s)
+		binary.LittleEndian.PutUint32(buf[i*8+4:], d)
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+func readCOO(path string, count int) (src, dst []uint32, err error) {
+	data, closer, err := mapFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer closer()
+	if len(data) != count*8 {
+		return nil, nil, fmt.Errorf("storage: %s has %d bytes, want %d", path, len(data), count*8)
+	}
+	src = make([]uint32, count)
+	dst = make([]uint32, count)
+	for i := 0; i < count; i++ {
+		src[i] = binary.LittleEndian.Uint32(data[i*8:])
+		dst[i] = binary.LittleEndian.Uint32(data[i*8+4:])
+	}
+	return src, dst, nil
+}
+
+func writeBitmap(path string, bm *bitmatrix.Bitmap) error {
+	words := bm.Words()
+	buf := make([]byte, len(words)*8)
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[i*8:], w)
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+func readBitmap(path string, n int) (*bitmatrix.Bitmap, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	bm := bitmatrix.NewBitmap(n)
+	words := bm.Words()
+	if len(data) != len(words)*8 {
+		return nil, fmt.Errorf("storage: %s has %d bytes, want %d", path, len(data), len(words)*8)
+	}
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	return bm, nil
+}

@@ -1,0 +1,77 @@
+package vexpand
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// TestExpandWithEdgePropFilter checks that a determiner's edge property
+// constraint restricts traversal (§5.3's post-scan filter), identically on
+// every kernel.
+func TestExpandWithEdgePropFilter(t *testing.T) {
+	// Chain 0→1→2→3 where edge 1→2 is not "open": with the filter, 0 can
+	// reach only 1.
+	b := graph.NewBuilder(4)
+	for i := 0; i < 3; i++ {
+		b.AddEdge("e", uint32(i), uint32(i+1))
+	}
+	b.SetEdgeProp("e", "open", graph.BoolColumn{true, false, true})
+	g := b.MustBuild()
+
+	d := pattern.Determiner{KMin: 1, KMax: 3, Dir: graph.Forward, Type: pattern.Any,
+		EdgeLabels: []string{"e"}, EdgePropEq: map[string]any{"open": true}}
+	for _, k := range allKernels {
+		r, err := Expand(g, []graph.VertexID{0}, d, Options{Kernel: k})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if got := r.Reach.RowBits(0); !reflect.DeepEqual(got, []int{1}) {
+			t.Errorf("%v: filtered reach = %v, want [1]", k, got)
+		}
+	}
+
+	// Without the constraint the full chain is reachable.
+	d.EdgePropEq = nil
+	r, err := Expand(g, []graph.VertexID{0}, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Reach.RowBits(0); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("unfiltered reach = %v", got)
+	}
+
+	// Unknown property errors.
+	d.EdgePropEq = map[string]any{"nope": 1}
+	if _, err := Expand(g, []graph.VertexID{0}, d, Options{}); err == nil {
+		t.Fatal("unknown edge property accepted")
+	}
+}
+
+// TestMinLengthAgreesAcrossKernels pins BFS's sparse distance maps against
+// the matrix kernels' PerStep matrices.
+func TestMinLengthAgreesAcrossKernels(t *testing.T) {
+	g := figure3(t)
+	d := pattern.Determiner{KMin: 1, KMax: 4, Dir: graph.Both, Type: pattern.Any,
+		EdgeLabels: []string{"knows"}}
+	sources := []graph.VertexID{0, 3}
+	ref, err := Expand(g, sources, d, Options{Kernel: Hilbert, KeepPerStep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := Expand(g, sources, d, Options{Kernel: BFS, KeepPerStep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := range sources {
+		for v := 0; v < g.NumVertices(); v++ {
+			l1, ok1 := ref.MinLength(row, graph.VertexID(v))
+			l2, ok2 := bfs.MinLength(row, graph.VertexID(v))
+			if ok1 != ok2 || l1 != l2 {
+				t.Errorf("row %d → %d: matrix (%d,%v) vs bfs (%d,%v)", row, v, l1, ok1, l2, ok2)
+			}
+		}
+	}
+}

@@ -1,0 +1,609 @@
+// Package vexpand implements VertexSurge's variable-length expand operator
+// (§4 of the paper).
+//
+// VExpand takes a set S of source vertices and a variable-length path
+// determiner D = (kmin, kmax, dir, type) and computes, for every source, the
+// set of graph vertices d with D(s, d) = true, as a dense reachability bit
+// matrix (rows = sources, columns = all vertices).
+//
+// Two kernel families are provided: a per-source BFS kernel over CSR
+// adjacency, and the paper's stacked-columnar bit-matrix-multiplication
+// kernel over a (Hilbert-ordered) COO edge list. The matrix kernel comes in
+// the ablation variants of Figure 9 (Strawman, ColumnMajor, SIMD, Hilbert,
+// Prefetch). All kernels compute identical results.
+package vexpand
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bitmatrix"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/storage"
+)
+
+// DefaultLookahead is the prefetch distance: while processing the x-th edge
+// the kernel touches the columns needed by edge x+20, the constant the
+// paper reports (§4.2).
+const DefaultLookahead = 20
+
+// Options configures a VExpand invocation.
+type Options struct {
+	// Kernel selects the expand kernel; Auto (the zero value) chooses
+	// per invocation.
+	Kernel Kernel
+	// Workers bounds the number of parallel workers; 0 means GOMAXPROCS.
+	// Work is partitioned by 512-row stack (matrix kernels) or by source
+	// (BFS), which is conflict-free (Figure 4a).
+	Workers int
+	// Lookahead is the prefetch distance for the Prefetch kernel;
+	// 0 means DefaultLookahead.
+	Lookahead int
+	// KeepPerStep retains the per-step "newly reached" matrices so
+	// callers can recover the minimal path length per (source, dst) pair
+	// (needed by queries returning length(p), e.g. TCR1/TCR8).
+	KeepPerStep bool
+	// MaxSteps caps expansion for unbounded determiners; 0 means |V|.
+	MaxSteps int
+	// Spill, when set together with KeepPerStep on a matrix kernel,
+	// offloads each step's matrix to the spill manager instead of
+	// retaining it in memory (§5.3: intermediate results on disk).
+	// Iterate memory-boundedly with Result.ForEachStep.
+	Spill *storage.SpillManager
+	// DetectFixpoint stops an ANY expansion early when the frontier
+	// matrix reaches a fixpoint (M(c+1) == M(c)): every further step
+	// would reproduce the same matrix, so its contribution folds in at
+	// once. The paper's engine multiplies through all k_max steps
+	// (Figure 7's linear trend), so this is off by default; enable it
+	// for large k_max on dense graphs.
+	DetectFixpoint bool
+}
+
+// Stats reports what an expansion did; it feeds Figure 8 (stage breakdown)
+// and Table 2 (intermediate result counts).
+type Stats struct {
+	// Kernel actually used after Auto resolution.
+	Kernel Kernel
+	// Steps is the number of expand steps executed.
+	Steps int
+	// IntermediateResults is the total number of set bits summed over
+	// every step's frontier matrix — the "Expand" row of Table 2.
+	IntermediateResults int64
+	// ExpandTime is time spent multiplying frontiers with the edge list.
+	ExpandTime time.Duration
+	// UpdateVisitTime is time spent maintaining the visited set
+	// (SHORTEST only; ANY spends none, matching Figure 8's C11/C12).
+	UpdateVisitTime time.Duration
+	// MatrixBytes is the peak bit-matrix allocation, for the Table 2
+	// memory comparison.
+	MatrixBytes int64
+}
+
+// Result is the outcome of a VExpand: the reachability matrix between the
+// source set (rows) and every graph vertex (columns).
+type Result struct {
+	// Sources maps matrix row index to source vertex.
+	Sources []graph.VertexID
+	// Reach has Reach[i][j] = 1 iff D(Sources[i], j) holds.
+	Reach *bitmatrix.Matrix
+	// PerStep, when requested from a matrix kernel, holds the
+	// newly-reached matrix of each step: PerStep[c][i][j] = 1 iff the
+	// shortest walk from Sources[i] to j has exactly c+1 edges (index 0
+	// is step 1). The BFS kernel records sparse per-row distance maps
+	// instead (its row counts are small); use MinLength either way.
+	PerStep []*bitmatrix.Matrix
+	// bfsDist[i][j] is the minimal walk length from Sources[i] to j when
+	// the BFS kernel ran with KeepPerStep.
+	bfsDist []map[graph.VertexID]int
+	// Spilled step matrices (matrix kernels with Options.Spill).
+	spill        *storage.SpillManager
+	spillHandles []storage.Handle
+	// Stats reports kernel, timing, and intermediate-result counts.
+	Stats Stats
+}
+
+// PairCount returns the number of (source, destination) pairs connected
+// under the determiner — the operator's distinct output size.
+func (r *Result) PairCount() int { return r.Reach.PopCount() }
+
+// StepCount returns the number of retained per-step matrices (including
+// spilled ones).
+func (r *Result) StepCount() int {
+	if r.spill != nil {
+		return len(r.spillHandles)
+	}
+	return len(r.PerStep)
+}
+
+// StepMatrix returns the newly-reached matrix of step c (1-indexed step
+// c+1), loading it from the spill manager when spilled. Spilled loads
+// allocate; prefer ForEachStep for sequential scans.
+func (r *Result) StepMatrix(c int) (*bitmatrix.Matrix, error) {
+	if r.spill != nil {
+		return r.spill.Load(r.spillHandles[c])
+	}
+	return r.PerStep[c], nil
+}
+
+// ForEachStep calls fn with each retained step matrix in order, loading
+// spilled matrices one at a time so memory stays bounded by one step.
+func (r *Result) ForEachStep(fn func(step int, m *bitmatrix.Matrix) error) error {
+	for c := 0; c < r.StepCount(); c++ {
+		m, err := r.StepMatrix(c)
+		if err != nil {
+			return err
+		}
+		if err := fn(c+1, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MinLength returns the minimal walk length from Sources[row] to dst, and
+// false if unreachable or per-step data was not retained (KeepPerStep).
+// With spilled steps each probe loads matrices from disk; batch consumers
+// should use ForEachStep.
+func (r *Result) MinLength(row int, dst graph.VertexID) (int, bool) {
+	if r.bfsDist != nil {
+		l, ok := r.bfsDist[row][dst]
+		return l, ok
+	}
+	for c := 0; c < r.StepCount(); c++ {
+		m, err := r.StepMatrix(c)
+		if err != nil {
+			return 0, false
+		}
+		if m.Get(row, int(dst)) {
+			return c + 1, true
+		}
+	}
+	return 0, false
+}
+
+// Expand runs the VExpand operator on g from the given sources under d.
+func Expand(g *graph.Graph, sources []graph.VertexID, d pattern.Determiner, opts Options) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	sets, err := pattern.ResolveEdgeSets(g, d)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sources {
+		if int(s) >= g.NumVertices() {
+			return nil, fmt.Errorf("vexpand: source %d out of range %d", s, g.NumVertices())
+		}
+	}
+
+	kernel := opts.Kernel
+	if kernel == Auto {
+		kernel = chooseKernel(g, sources, d, sets)
+	}
+
+	e := &expansion{
+		g:       g,
+		sources: sources,
+		d:       d,
+		sets:    sets,
+		opts:    opts,
+		kernel:  kernel,
+	}
+	if kernel == BFS {
+		return e.runBFS()
+	}
+	return e.runMatrix()
+}
+
+// chooseKernel makes the planner's "fast online decision" (§5.2): it
+// estimates the per-source frontier work of the BFS kernel against the
+// matrix kernel's fixed cost of one full edge pass per step per 512-row
+// stack, and picks the cheaper. Dense frontiers (high degree, larger
+// k_max) favor the matrix kernel even for small source sets; sparse
+// single-source expansions favor BFS.
+func chooseKernel(g *graph.Graph, sources []graph.VertexID, d pattern.Determiner, sets []*graph.EdgeSet) Kernel {
+	if len(sources) == 0 {
+		return BFS
+	}
+	nV := float64(g.NumVertices())
+	var edges float64
+	for _, es := range sets {
+		edges += float64(es.Len())
+	}
+	if d.Dir == graph.Both {
+		edges *= 2
+	}
+	if nV == 0 || edges == 0 {
+		return BFS
+	}
+	deg := edges / nV
+	kmax := d.KMax
+	if kmax == pattern.Unbounded || kmax > 32 {
+		kmax = 32
+	}
+	// BFS: each step visits every frontier vertex's adjacency, per source.
+	frontier, bfsCost := 1.0, 0.0
+	for c := 1; c <= kmax; c++ {
+		bfsCost += frontier * deg
+		frontier = min(frontier*deg, nV)
+	}
+	bfsCost *= float64(len(sources))
+	// Matrix: every step ORs one 8-word column per edge per stack.
+	stacks := float64((len(sources) + bitmatrix.StackRows - 1) / bitmatrix.StackRows)
+	matrixCost := stacks * edges * float64(kmax) * float64(bitmatrix.WordsPerColumn)
+	if bfsCost < matrixCost {
+		return BFS
+	}
+	return Prefetch
+}
+
+// expansion carries the state of one Expand call.
+type expansion struct {
+	g       *graph.Graph
+	sources []graph.VertexID
+	d       pattern.Determiner
+	sets    []*graph.EdgeSet
+	opts    Options
+	kernel  Kernel
+}
+
+func (e *expansion) maxSteps() int {
+	if e.d.KMax != pattern.Unbounded {
+		return e.d.KMax
+	}
+	if e.opts.MaxSteps > 0 {
+		return e.opts.MaxSteps
+	}
+	return e.g.NumVertices()
+}
+
+func (e *expansion) workers() int {
+	if e.opts.Workers > 0 {
+		return e.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (e *expansion) lookahead() int {
+	if e.opts.Lookahead > 0 {
+		return e.opts.Lookahead
+	}
+	return DefaultLookahead
+}
+
+// runMatrix executes the stacked-columnar (or straw-man row-major) kernels.
+func (e *expansion) runMatrix() (*Result, error) {
+	n := e.g.NumVertices()
+	rows := len(e.sources)
+	res := &Result{
+		Sources: e.sources,
+		Reach:   bitmatrix.New(rows, n),
+	}
+	res.Stats.Kernel = e.kernel
+	if rows == 0 {
+		return res, nil
+	}
+
+	cur := bitmatrix.New(rows, n)
+	next := bitmatrix.New(rows, n)
+	for i, s := range e.sources {
+		cur.Set(i, int(s))
+	}
+	var visited *bitmatrix.Matrix
+	if e.d.Type == pattern.Shortest {
+		visited = cur.Clone()
+	}
+	res.Stats.MatrixBytes = int64(cur.SizeBytes()+next.SizeBytes()) + int64(res.Reach.SizeBytes())
+	if visited != nil {
+		res.Stats.MatrixBytes += int64(visited.SizeBytes())
+	}
+
+	if e.d.KMin == 0 {
+		res.Reach.Or(cur)
+	}
+
+	// Edge lists per set, resolved once: Hilbert-ordered for the Hilbert
+	// and Prefetch rungs, insertion order below them.
+	var coos []cooList
+	if e.kernel != Strawman {
+		for _, es := range e.sets {
+			var from, to []uint32
+			if e.kernel == Hilbert || e.kernel == Prefetch {
+				from, to = es.COO(e.d.Dir)
+			} else {
+				from, to = insertionCOO(es, e.d.Dir)
+			}
+			coos = append(coos, cooList{from, to})
+		}
+	}
+
+	var rowCur, rowNext *rowMatrix
+	if e.kernel == Strawman {
+		rowCur = newRowMatrix(rows, n)
+		rowNext = newRowMatrix(rows, n)
+		rowCur.fromStacked(cur)
+		res.Stats.MatrixBytes = 2 * int64(len(rowCur.words)) * 8
+	}
+
+	maxSteps := e.maxSteps()
+	for step := 1; step <= maxSteps; step++ {
+		t0 := time.Now()
+		if e.kernel == Strawman {
+			rowNext.reset()
+			strawmanStep(rowCur, rowNext, e.sets, e.d.Dir)
+			next.CopyFrom(rowNext.toStacked())
+		} else {
+			next.Reset()
+			e.parallelCOOStep(cur, next, coos)
+		}
+		res.Stats.ExpandTime += time.Since(t0)
+
+		if e.d.Type == pattern.Shortest {
+			t1 := time.Now()
+			next.AndNot(visited)
+			visited.Or(next)
+			res.Stats.UpdateVisitTime += time.Since(t1)
+			if e.kernel == Strawman {
+				// The visited mask was applied to the stacked copy;
+				// resynchronize the row-major working matrix.
+				rowNext.fromStacked(next)
+			}
+		}
+		res.Stats.Steps++
+		res.Stats.IntermediateResults += int64(next.PopCount())
+
+		if step >= e.d.KMin {
+			res.Reach.Or(next)
+		}
+		if e.opts.DetectFixpoint && e.d.Type == pattern.Any && next.Equal(cur) {
+			// Fixpoint: M(c+1) == M(c) implies M(c') == M(c) for all
+			// c' > c. If the merge range [kmin, kmax] was not yet
+			// reached, the fixpoint matrix is what every merged step
+			// would contribute.
+			if step < e.d.KMin && e.d.KMax >= e.d.KMin {
+				res.Reach.Or(next)
+			}
+			break
+		}
+		if e.opts.KeepPerStep {
+			if e.opts.Spill != nil {
+				h, err := e.opts.Spill.Spill(0, next)
+				if err != nil {
+					return nil, err
+				}
+				res.spill = e.opts.Spill
+				res.spillHandles = append(res.spillHandles, h)
+			} else {
+				res.PerStep = append(res.PerStep, next.Clone())
+			}
+		}
+		if !next.Any() {
+			break // an empty frontier can never refill
+		}
+		cur, next = next, cur
+		if e.kernel == Strawman {
+			rowCur, rowNext = rowNext, rowCur
+		}
+	}
+	return res, nil
+}
+
+// cooList is a resolved edge list for one edge set in one direction.
+type cooList struct{ from, to []uint32 }
+
+// parallelCOOStep runs one COO expand step, partitioning stacks across
+// workers; stacks are disjoint row bands, so writes never conflict.
+func (e *expansion) parallelCOOStep(cur, next *bitmatrix.Matrix, coos []cooList) {
+	stacks := cur.Stacks()
+	workers := e.workers()
+	if workers > stacks {
+		workers = stacks
+	}
+	unrolled := e.kernel != ColumnMajor
+	lookahead := 0
+	if e.kernel == Prefetch {
+		lookahead = e.lookahead()
+	}
+	if workers <= 1 {
+		for _, c := range coos {
+			cooStep(cur, next, c.from, c.to, 0, stacks, unrolled, lookahead)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	per := (stacks + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > stacks {
+			hi = stacks
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for _, c := range coos {
+				cooStep(cur, next, c.from, c.to, lo, hi, unrolled, lookahead)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// insertionCOO returns the edge list in insertion order for the requested
+// direction (the pre-Hilbert rungs of the ladder).
+func insertionCOO(es *graph.EdgeSet, dir graph.Direction) (from, to []uint32) {
+	n := es.Len()
+	switch dir {
+	case graph.Forward:
+		from = make([]uint32, n)
+		to = make([]uint32, n)
+		for i := 0; i < n; i++ {
+			from[i], to[i] = es.Edge(i)
+		}
+	case graph.Reverse:
+		from = make([]uint32, n)
+		to = make([]uint32, n)
+		for i := 0; i < n; i++ {
+			to[i], from[i] = es.Edge(i)
+		}
+	default:
+		from = make([]uint32, 0, 2*n)
+		to = make([]uint32, 0, 2*n)
+		for i := 0; i < n; i++ {
+			s, d := es.Edge(i)
+			from = append(from, s, d)
+			to = append(to, d, s)
+		}
+	}
+	return from, to
+}
+
+// runBFS executes the per-source BFS kernel: each source gets frontier and
+// visited bitmaps over CSR adjacency. Sources are partitioned across
+// workers; each writes only its own matrix rows.
+func (e *expansion) runBFS() (*Result, error) {
+	n := e.g.NumVertices()
+	rows := len(e.sources)
+	res := &Result{
+		Sources: e.sources,
+		Reach:   bitmatrix.New(rows, n),
+	}
+	res.Stats.Kernel = BFS
+	if rows == 0 {
+		return res, nil
+	}
+	maxSteps := e.maxSteps()
+	if e.opts.KeepPerStep {
+		// The BFS kernel records sparse per-row distances rather than
+		// 512-row-padded step matrices; each worker writes disjoint rows.
+		res.bfsDist = make([]map[graph.VertexID]int, rows)
+		for i := range res.bfsDist {
+			res.bfsDist[i] = map[graph.VertexID]int{}
+		}
+	}
+
+	type rowStat struct {
+		steps        int
+		intermediate int64
+		expand       time.Duration
+		visit        time.Duration
+	}
+
+	// Workers are partitioned on 512-row STACK boundaries, not plain row
+	// ranges: two rows of the same stack share backing words in the
+	// stacked-columnar Reach matrix, so row-level partitioning would race
+	// on Matrix.Set's read-modify-write.
+	stackCount := (rows + bitmatrix.StackRows - 1) / bitmatrix.StackRows
+	workers := e.workers()
+	if workers > stackCount {
+		workers = stackCount
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	stats := make([]rowStat, workers)
+	var wg sync.WaitGroup
+	perStacks := (stackCount + workers - 1) / workers
+	per := perStacks * bitmatrix.StackRows
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			frontier := bitmatrix.NewBitmap(n)
+			nextFrontier := bitmatrix.NewBitmap(n)
+			// Visited pruning is mandatory for SHORTEST; for ANY with
+			// kmin ≤ 1 it is a pure optimization — the union of pruned
+			// frontiers over steps 1..kmax equals the walk-reach union,
+			// and frontiers shrink instead of churning. (For kmin ≥ 2
+			// walk semantics needs true walk frontiers: a vertex may be
+			// walk-reachable at step 2 but BFS-discovered at step 1.)
+			var visited *bitmatrix.Bitmap
+			if e.d.Type == pattern.Shortest || e.d.KMin <= 1 {
+				visited = bitmatrix.NewBitmap(n)
+			}
+			// Under ANY semantics the source itself is walk-reachable
+			// through any closed walk (e.g. out-and-back on an undirected
+			// edge), so it must stay discoverable: only SHORTEST pre-marks
+			// the source as visited (dist(s,s)=0 excludes it by
+			// definition).
+			markSource := e.d.Type == pattern.Shortest
+			st := &stats[w]
+			for r := lo; r < hi; r++ {
+				rowSteps := 0
+				frontier.Reset()
+				frontier.Set(int(e.sources[r]))
+				if visited != nil {
+					visited.Reset()
+					if markSource {
+						visited.Set(int(e.sources[r]))
+					}
+				}
+				if e.d.KMin == 0 {
+					res.Reach.Set(r, int(e.sources[r]))
+				}
+				for step := 1; step <= maxSteps; step++ {
+					t0 := time.Now()
+					nextFrontier.Reset()
+					frontier.ForEach(func(v int) {
+						for _, es := range e.sets {
+							for _, j := range es.Neighbors(graph.VertexID(v), e.d.Dir) {
+								nextFrontier.Set(int(j))
+							}
+						}
+					})
+					st.expand += time.Since(t0)
+					if visited != nil {
+						t1 := time.Now()
+						nextFrontier.AndNot(visited)
+						visited.Or(nextFrontier)
+						st.visit += time.Since(t1)
+					}
+					rowSteps = step
+					st.intermediate += int64(nextFrontier.PopCount())
+					if step >= e.d.KMin {
+						nextFrontier.ForEach(func(j int) { res.Reach.Set(r, j) })
+					}
+					if e.opts.KeepPerStep {
+						dist := res.bfsDist[r]
+						nextFrontier.ForEach(func(j int) {
+							if _, seen := dist[graph.VertexID(j)]; !seen {
+								dist[graph.VertexID(j)] = step
+							}
+						})
+					}
+					if !nextFrontier.Any() {
+						break
+					}
+					frontier, nextFrontier = nextFrontier, frontier
+				}
+				if rowSteps > st.steps {
+					st.steps = rowSteps
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, st := range stats {
+		if st.steps > res.Stats.Steps {
+			res.Stats.Steps = st.steps
+		}
+		res.Stats.IntermediateResults += st.intermediate
+		res.Stats.ExpandTime += st.expand
+		res.Stats.UpdateVisitTime += st.visit
+	}
+	res.Stats.MatrixBytes = int64(res.Reach.SizeBytes())
+	return res, nil
+}

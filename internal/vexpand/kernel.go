@@ -1,0 +1,179 @@
+package vexpand
+
+import (
+	"math/bits"
+
+	"repro/internal/bitmatrix"
+	"repro/internal/graph"
+)
+
+// Kernel selects the expand kernel implementation. The non-Auto values form
+// the ablation ladder of Figure 9: each adds one optimization of §4 on top
+// of the previous.
+type Kernel int
+
+const (
+	// Auto picks BFS for small source sets and the fully optimized matrix
+	// kernel otherwise (§3: kernels "suited for different scenarios").
+	Auto Kernel = iota
+	// Strawman is the §4.1 baseline: a row-major bit matrix updated with
+	// per-bit set_bit (explicit word/bit address computation) while
+	// iterating CSR adjacency per source row.
+	Strawman
+	// ColumnMajor stores the matrix in stacked columnar-major format and
+	// uses or_column over insertion-ordered COO edges, with a plain
+	// 8-word loop (no unrolling).
+	ColumnMajor
+	// SIMD is ColumnMajor with the 8-word OR fully unrolled on slice
+	// views — the Go stand-in for one AVX-512 VPORD (see DESIGN.md).
+	SIMD
+	// Hilbert is SIMD over the Hilbert-ordered COO edge list (§4.2).
+	Hilbert
+	// Prefetch is Hilbert plus a lookahead touch of the columns used by
+	// the (x+Lookahead)-th edge, the software-prefetch stand-in.
+	Prefetch
+	// BFS expands each source independently with frontier bitmaps over
+	// CSR adjacency; preferable when |S| is small.
+	BFS
+)
+
+// String names the kernel.
+func (k Kernel) String() string {
+	switch k {
+	case Auto:
+		return "auto"
+	case Strawman:
+		return "strawman"
+	case ColumnMajor:
+		return "column-major"
+	case SIMD:
+		return "simd"
+	case Hilbert:
+		return "hilbert"
+	case Prefetch:
+		return "prefetch"
+	case BFS:
+		return "bfs"
+	default:
+		return "unknown"
+	}
+}
+
+// rowMatrix is the straw-man's flat row-major bit matrix: bit (r, c) lives
+// in words[r*wordsPerRow + c/64]. Adjacent destination bits of one source
+// row are spread across the whole row — the layout whose write
+// amplification §4.2 diagnoses.
+type rowMatrix struct {
+	rows, cols  int
+	wordsPerRow int
+	words       []uint64
+}
+
+func newRowMatrix(rows, cols int) *rowMatrix {
+	wpr := (cols + 63) / 64
+	return &rowMatrix{rows: rows, cols: cols, wordsPerRow: wpr, words: make([]uint64, rows*wpr)}
+}
+
+// setBit is the paper's set_bit: full division/modulo address computation
+// plus a read-modify-write of one word.
+func (m *rowMatrix) setBit(r, c int) {
+	m.words[r*m.wordsPerRow+c/64] |= 1 << uint(c%64)
+}
+
+func (m *rowMatrix) get(r, c int) bool {
+	return m.words[r*m.wordsPerRow+c/64]&(1<<uint(c%64)) != 0
+}
+
+func (m *rowMatrix) reset() { clear(m.words) }
+
+// row returns the words of row r.
+func (m *rowMatrix) row(r int) []uint64 {
+	return m.words[r*m.wordsPerRow : (r+1)*m.wordsPerRow]
+}
+
+// toStacked converts to the stacked columnar format for shared
+// result handling.
+func (m *rowMatrix) toStacked() *bitmatrix.Matrix {
+	out := bitmatrix.New(m.rows, m.cols)
+	for r := 0; r < m.rows; r++ {
+		row := m.row(r)
+		for wi, word := range row {
+			for word != 0 {
+				tz := trailingZeros(word)
+				c := wi*64 + tz
+				out.Set(r, c)
+				word &= word - 1
+			}
+		}
+	}
+	return out
+}
+
+func (m *rowMatrix) fromStacked(src *bitmatrix.Matrix) {
+	m.reset()
+	src.ForEachSet(func(r, c int) { m.setBit(r, c) })
+}
+
+// strawmanStep performs one expand step on row-major matrices: for every
+// source row i and every reachable vertex k, iterate k's adjacency and
+// set_bit each destination (Figure 4b).
+func strawmanStep(cur, next *rowMatrix, sets []*graph.EdgeSet, dir graph.Direction) {
+	for r := 0; r < cur.rows; r++ {
+		row := cur.row(r)
+		for wi, word := range row {
+			for word != 0 {
+				tz := trailingZeros(word)
+				k := graph.VertexID(wi*64 + tz)
+				word &= word - 1
+				for _, es := range sets {
+					for _, j := range es.Neighbors(k, dir) {
+						next.setBit(r, int(j))
+					}
+				}
+			}
+		}
+	}
+}
+
+// orColumnLoop ORs src's column srcCol into dst's column dstCol within one
+// stack using a plain loop — the ColumnMajor rung of the ladder.
+func orColumnLoop(dst, src *bitmatrix.Matrix, stack, srcCol, dstCol int) {
+	d := dst.ColumnWords(stack, dstCol)
+	s := src.ColumnWords(stack, srcCol)
+	for i := range d {
+		d[i] |= s[i]
+	}
+}
+
+// cooStep performs one expand step of the stacked-columnar kernel over a
+// COO edge list: for every stack and every edge (k → j), OR column k of cur
+// into column j of next (Figure 4c). The unrolled flag selects the
+// "SIMD" 8-word unrolled OR; lookahead > 0 adds the prefetch touch.
+func cooStep(cur, next *bitmatrix.Matrix, from, to []uint32, stackLo, stackHi int, unrolled bool, lookahead int) {
+	for s := stackLo; s < stackHi; s++ {
+		switch {
+		case lookahead > 0:
+			n := len(from)
+			for x := 0; x < n; x++ {
+				if ahead := x + lookahead; ahead < n {
+					// Demand-load the cache lines the (x+lookahead)-th
+					// edge will need, as §4.2's prefetcht0 would.
+					_ = cur.TouchColumn(s, int(from[ahead]))
+					_ = next.TouchColumn(s, int(to[ahead]))
+				}
+				next.OrColumnFrom(cur, s, int(from[x]), int(to[x]))
+			}
+		case unrolled:
+			for x := range from {
+				next.OrColumnFrom(cur, s, int(from[x]), int(to[x]))
+			}
+		default:
+			for x := range from {
+				orColumnLoop(next, cur, s, int(from[x]), int(to[x]))
+			}
+		}
+	}
+}
+
+// trailingZeros is the paper's ctz; math/bits compiles it to TZCNT on amd64.
+func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }

@@ -1,0 +1,85 @@
+package vexpand
+
+import (
+	"testing"
+
+	"repro/internal/bitmatrix"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/storage"
+)
+
+// TestSpilledPerStepMatchesInMemory checks that spilling step matrices to
+// disk (§5.3) changes nothing about the results.
+func TestSpilledPerStepMatchesInMemory(t *testing.T) {
+	g := figure3(t)
+	d := pattern.Determiner{KMin: 1, KMax: 4, Dir: graph.Both, Type: pattern.Any,
+		EdgeLabels: []string{"knows"}}
+	sources := []graph.VertexID{0, 2, 4}
+
+	mem, err := Expand(g, sources, d, Options{Kernel: Hilbert, KeepPerStep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sm, err := storage.NewSpillManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sm.Close()
+	spilled, err := Expand(g, sources, d, Options{Kernel: Hilbert, KeepPerStep: true, Spill: sm})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !spilled.Reach.Equal(mem.Reach) {
+		t.Fatal("reach matrices differ under spill")
+	}
+	if len(spilled.PerStep) != 0 {
+		t.Fatal("spilled run retained in-memory step matrices")
+	}
+	if spilled.StepCount() != mem.StepCount() {
+		t.Fatalf("StepCount = %d, want %d", spilled.StepCount(), mem.StepCount())
+	}
+	if sm.SpilledBytes() == 0 {
+		t.Fatal("nothing was spilled")
+	}
+
+	// StepMatrix round-trips every step.
+	for c := 0; c < mem.StepCount(); c++ {
+		sMat, err := spilled.StepMatrix(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sMat.Equal(mem.PerStep[c]) {
+			t.Fatalf("step %d differs after spill", c)
+		}
+	}
+
+	// MinLength agrees for every (row, vertex).
+	for row := range sources {
+		for v := 0; v < g.NumVertices(); v++ {
+			l1, ok1 := mem.MinLength(row, graph.VertexID(v))
+			l2, ok2 := spilled.MinLength(row, graph.VertexID(v))
+			if l1 != l2 || ok1 != ok2 {
+				t.Fatalf("MinLength(%d,%d): mem (%d,%v) vs spill (%d,%v)", row, v, l1, ok1, l2, ok2)
+			}
+		}
+	}
+
+	// ForEachStep visits every step in order, bounded to one matrix.
+	visited := 0
+	err = spilled.ForEachStep(func(step int, m *bitmatrix.Matrix) error {
+		visited++
+		if step != visited {
+			t.Fatalf("step order %d at visit %d", step, visited)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != mem.StepCount() {
+		t.Fatalf("visited %d steps, want %d", visited, mem.StepCount())
+	}
+}
