@@ -54,10 +54,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
 		g, err = datagen.ImportEdgeList(f, datagen.ImportConfig{
 			EdgeLabel: *edgeLabel, Seed: *seed, CommunityFraction: 0.25,
 		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

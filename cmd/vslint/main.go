@@ -1,0 +1,80 @@
+// Command vslint runs VertexSurge's project-specific static analysis over
+// the module containing the current directory. It is built entirely on the
+// stdlib go/* packages — see internal/vslint for the analyzers.
+//
+// Usage:
+//
+//	go run ./cmd/vslint ./...
+//	go run ./cmd/vslint ./internal/storage ./internal/vexpand/...
+//
+// Exit status is 1 when any finding survives //vs:nolint suppression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/vslint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: vslint [-list] [packages]\n\npackages default to ./...\n\nanalyzers:\n")
+		for _, a := range vslint.All() {
+			fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range vslint.All() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := vslint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := vslint.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := mod.Match(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	total := 0
+	for _, pkg := range pkgs {
+		for _, f := range vslint.CheckPackage(pkg, vslint.All()) {
+			total++
+			fmt.Printf("%s:%d:%d: [%s] %s\n", relPath(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "vslint: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}
+
+func relPath(base, path string) string {
+	rel, err := filepath.Rel(base, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

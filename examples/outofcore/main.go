@@ -31,7 +31,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(workDir)
+	defer os.RemoveAll(workDir) //vs:nolint(unchecked-err) best-effort cleanup of a temp dir on example exit
 
 	// 1. Generate a graph and store it in the columnar on-disk format.
 	ds, err := datagen.Generate("LDBC-SN-SF100", *scale)
@@ -59,7 +59,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer spill.Close()
+	defer func() {
+		if err := spill.Close(); err != nil {
+			log.Printf("spill close: %v", err)
+		}
+	}()
 
 	n := *sources
 	if n > g.NumVertices() {

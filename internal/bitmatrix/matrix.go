@@ -85,6 +85,8 @@ func (m *Matrix) ColumnWords(stack, c int) []uint64 {
 }
 
 // Set sets bit (r, c) to 1.
+//
+//vs:hotpath
 func (m *Matrix) Set(r, c int) {
 	m.boundsCheck(r, c)
 	stack, off := r/StackRows, r%StackRows
@@ -115,6 +117,8 @@ func (m *Matrix) boundsCheck(r, c int) {
 // dstCol of m. Both matrices must have the same number of stacks. This is
 // the or_column primitive of §4.2: one call replaces up to 512 set_bit
 // operations.
+//
+//vs:hotpath
 func (m *Matrix) OrColumnFrom(src *Matrix, stack, srcCol, dstCol int) {
 	d := m.words[m.columnBase(stack, dstCol):]
 	s := src.words[src.columnBase(stack, srcCol):]
@@ -132,12 +136,16 @@ func (m *Matrix) OrColumnFrom(src *Matrix, stack, srcCol, dstCol int) {
 // TouchColumn reads one word of column c in the given stack and returns it.
 // It is the software-prefetch stand-in: a demand load of the first word
 // pulls the column's cache line, as the paper's prefetcht0 would.
+//
+//vs:hotpath
 func (m *Matrix) TouchColumn(stack, c int) uint64 {
 	return m.words[m.columnBase(stack, c)]
 }
 
 // Or computes m |= other element-wise. The matrices must have identical
 // dimensions.
+//
+//vs:hotpath
 func (m *Matrix) Or(other *Matrix) {
 	m.dimCheck(other)
 	for i, w := range other.words {
@@ -146,6 +154,8 @@ func (m *Matrix) Or(other *Matrix) {
 }
 
 // And computes m &= other element-wise.
+//
+//vs:hotpath
 func (m *Matrix) And(other *Matrix) {
 	m.dimCheck(other)
 	for i, w := range other.words {
@@ -155,6 +165,8 @@ func (m *Matrix) And(other *Matrix) {
 
 // AndNot computes m &^= other element-wise. It is used to exclude visited
 // vertices from a freshly expanded frontier (SHORTEST semantics, §4).
+//
+//vs:hotpath
 func (m *Matrix) AndNot(other *Matrix) {
 	m.dimCheck(other)
 	for i, w := range other.words {
@@ -163,6 +175,8 @@ func (m *Matrix) AndNot(other *Matrix) {
 }
 
 // Xor computes m ^= other element-wise (the paper's VPXORD use case).
+//
+//vs:hotpath
 func (m *Matrix) Xor(other *Matrix) {
 	m.dimCheck(other)
 	for i, w := range other.words {

@@ -1,0 +1,43 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCypherParse asserts the front end never panics: arbitrary input must
+// either parse into a query or fail with an error. The lexer and
+// recursive-descent parser sit on the server's request path, so a panic
+// here is a remotely triggerable crash.
+func FuzzCypherParse(f *testing.F) {
+	seeds := []string{
+		// Valid paper-benchmark shapes (TCR/fraud workloads).
+		`MATCH (p:SIGA)-[:knows*..3]-(q:SIGA) RETURN COUNT(DISTINCT p,q);`,
+		`MATCH (a:Person:SIGA)-[:knows*1..2]-(b:Person:SIGB) MATCH (b)-[:knows*1..2]-(c:Person:SIGC) MATCH (a)-[:knows*1..2]-(c) RETURN COUNT(DISTINCT a,b,c);`,
+		`UNWIND $person_ids AS pid MATCH (p:Person{id:pid})<-[:knows*2..3]-(q:Person) RETURN pid,COUNT(DISTINCT q);`,
+		`MATCH (a:Account{id:$id1}), (b:Account{id:$id2}), p=shortestPath((a)-[:transfer*1..]->(b)) RETURN length(p);`,
+		`MATCH (loan:Loan{id:$id})-[:deposit]->(src:Account)-[p:transfer|withdraw*1..3]->(other:Account) RETURN DISTINCT other.id, length(p);`,
+		`MATCH (a)-[:t*1..6]->(b) WHERE a.balance > 100.5 AND NOT b:RISKA RETURN b ORDER BY b.id DESC LIMIT 10;`,
+		// Degenerate and hostile shapes.
+		"",
+		";",
+		"MATCH",
+		"MATCH (",
+		"MATCH (a)-[:x*..]-(b RETURN a;",
+		"RETURN $;",
+		`MATCH (a{id:"unterminated`,
+		"MATCH (a)-[:x*9999999999999999999..1]-(b) RETURN a;",
+		"MATCH (a)--(b) RETURN " + strings.Repeat("(", 1000),
+		"\x00\xff\xfe",
+		"MATCH (p:Olé)-[:connaît*1..2]-(q) RETURN q;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err == nil && q == nil {
+			t.Fatalf("Parse(%q) returned nil query and nil error", src)
+		}
+	})
+}

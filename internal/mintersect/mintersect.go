@@ -265,6 +265,8 @@ func (e *executor) run() error {
 
 // extend binds join position t by intersecting the columns selected by the
 // already-bound vertices, then recurses (Generic Join's extension step).
+//
+//vs:hotpath
 func (e *executor) extend(t int) {
 	n := e.in.NumPatternVertices
 	if t == n {
@@ -327,6 +329,8 @@ func (e *executor) emit() {
 }
 
 // copyColumn copies column c of m (all stacks) into dst.
+//
+//vs:hotpath
 func copyColumn(dst []uint64, m *bitmatrix.Matrix, c int) {
 	for s := 0; s < m.Stacks(); s++ {
 		copy(dst[s*bitmatrix.WordsPerColumn:(s+1)*bitmatrix.WordsPerColumn], m.ColumnWords(s, c))
@@ -335,6 +339,8 @@ func copyColumn(dst []uint64, m *bitmatrix.Matrix, c int) {
 
 // andColumn ANDs column c of m into dst, the Go stand-in for the paper's
 // SIMD bitwise-AND of matrix columns.
+//
+//vs:hotpath
 func andColumn(dst []uint64, m *bitmatrix.Matrix, c int) {
 	for s := 0; s < m.Stacks(); s++ {
 		w := m.ColumnWords(s, c)

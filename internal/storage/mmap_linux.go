@@ -3,6 +3,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"syscall"
@@ -10,23 +11,30 @@ import (
 
 // mapFile maps path read-only with mmap — the paper's strategy for graph
 // data (§5.3). The returned closer unmaps. Empty files return an empty
-// slice without mapping.
+// slice without mapping. The descriptor is closed as soon as the mapping
+// exists (the mapping keeps the pages alive independently), so no close
+// error can be silently dropped at unmap time.
 func mapFile(path string) ([]byte, func() error, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("storage: %w", err)
 	}
-	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
-		return nil, nil, fmt.Errorf("storage: %w", err)
+		return nil, nil, fmt.Errorf("storage: %w", errors.Join(err, f.Close()))
 	}
 	if st.Size() == 0 {
+		if err := f.Close(); err != nil {
+			return nil, nil, fmt.Errorf("storage: %w", err)
+		}
 		return nil, func() error { return nil }, nil
 	}
 	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
 	if err != nil {
-		return nil, nil, fmt.Errorf("storage: mmap %s: %w", path, err)
+		return nil, nil, errors.Join(fmt.Errorf("storage: mmap %s: %w", path, err), f.Close())
+	}
+	if err := f.Close(); err != nil {
+		return nil, nil, fmt.Errorf("storage: %w", errors.Join(err, syscall.Munmap(data)))
 	}
 	return data, func() error { return syscall.Munmap(data) }, nil
 }

@@ -53,6 +53,22 @@ func (s *SpillManager) SpilledBytes() int64 {
 	return s.bytes
 }
 
+// Sync flushes every open spill file to stable storage. Spilled matrices
+// are re-read later in the same query, so a lost page silently corrupts
+// results; callers that checkpoint long expansions should Sync at step
+// boundaries and must propagate the error.
+func (s *SpillManager) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, f := range s.files {
+		if err := f.Sync(); err != nil && first == nil {
+			first = fmt.Errorf("storage: %w", err)
+		}
+	}
+	return first
+}
+
 // Spill writes m to worker's dedicated spill file and returns a handle.
 // Safe for concurrent use by distinct workers.
 func (s *SpillManager) Spill(worker int, m *bitmatrix.Matrix) (Handle, error) {
@@ -104,6 +120,9 @@ func (s *SpillManager) Load(h Handle) (*bitmatrix.Matrix, error) {
 	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("storage: unknown spill handle %d", h)
+	}
+	if f == nil {
+		return nil, fmt.Errorf("storage: spill file for worker %d already closed", rec.worker)
 	}
 	buf := make([]byte, rec.words*8)
 	if _, err := f.ReadAt(buf, rec.offset); err != nil {

@@ -169,7 +169,13 @@ func readCOO(path string, count int) (src, dst []uint32, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	defer closer()
+	defer func() {
+		// An unmap failure invalidates the copied slices' provenance; report
+		// it unless a real read error is already on its way out.
+		if cerr := closer(); cerr != nil && err == nil {
+			src, dst, err = nil, nil, fmt.Errorf("storage: %w", cerr)
+		}
+	}()
 	if len(data) != count*8 {
 		return nil, nil, fmt.Errorf("storage: %s has %d bytes, want %d", path, len(data), count*8)
 	}

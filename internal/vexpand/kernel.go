@@ -76,6 +76,8 @@ func newRowMatrix(rows, cols int) *rowMatrix {
 
 // setBit is the paper's set_bit: full division/modulo address computation
 // plus a read-modify-write of one word.
+//
+//vs:hotpath
 func (m *rowMatrix) setBit(r, c int) {
 	m.words[r*m.wordsPerRow+c/64] |= 1 << uint(c%64)
 }
@@ -117,6 +119,8 @@ func (m *rowMatrix) fromStacked(src *bitmatrix.Matrix) {
 // strawmanStep performs one expand step on row-major matrices: for every
 // source row i and every reachable vertex k, iterate k's adjacency and
 // set_bit each destination (Figure 4b).
+//
+//vs:hotpath
 func strawmanStep(cur, next *rowMatrix, sets []*graph.EdgeSet, dir graph.Direction) {
 	for r := 0; r < cur.rows; r++ {
 		row := cur.row(r)
@@ -137,6 +141,8 @@ func strawmanStep(cur, next *rowMatrix, sets []*graph.EdgeSet, dir graph.Directi
 
 // orColumnLoop ORs src's column srcCol into dst's column dstCol within one
 // stack using a plain loop — the ColumnMajor rung of the ladder.
+//
+//vs:hotpath
 func orColumnLoop(dst, src *bitmatrix.Matrix, stack, srcCol, dstCol int) {
 	d := dst.ColumnWords(stack, dstCol)
 	s := src.ColumnWords(stack, srcCol)
@@ -149,6 +155,8 @@ func orColumnLoop(dst, src *bitmatrix.Matrix, stack, srcCol, dstCol int) {
 // COO edge list: for every stack and every edge (k → j), OR column k of cur
 // into column j of next (Figure 4c). The unrolled flag selects the
 // "SIMD" 8-word unrolled OR; lookahead > 0 adds the prefetch touch.
+//
+//vs:hotpath
 func cooStep(cur, next *bitmatrix.Matrix, from, to []uint32, stackLo, stackHi int, unrolled bool, lookahead int) {
 	for s := stackLo; s < stackHi; s++ {
 		switch {

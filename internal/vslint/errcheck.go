@@ -1,0 +1,104 @@
+package vslint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UncheckedErr flags calls whose error result is silently dropped: an
+// expression statement, defer, or go statement invoking a function whose
+// last result is error. The primary targets are the spill/mmap I/O paths in
+// internal/storage, where a swallowed Close/Write/Sync error corrupts
+// spilled intermediate matrices without a trace.
+//
+// Print-style formatting to streams and the never-failing in-memory writers
+// (strings.Builder, bytes.Buffer) are excluded; assigning the error to _ is
+// treated as an explicit, visible decision and is not flagged.
+var UncheckedErr = &Analyzer{
+	Name: "unchecked-err",
+	Doc:  "flag dropped error returns on statement-level, deferred, and go calls",
+	Run:  runUncheckedErr,
+}
+
+// errcheckExcluded lists FullName prefixes whose dropped errors are
+// conventionally meaningless.
+var errcheckExcluded = []string{
+	"fmt.Print",  // Print, Printf, Println to stdout
+	"fmt.Fprint", // Fprint* — error-free for the Builder/Buffer/ResponseWriter sinks used here
+	"(*strings.Builder).",
+	"(*bytes.Buffer).",
+}
+
+func runUncheckedErr(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedErr(p, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDroppedErr(p, n.Call, "deferred ")
+			case *ast.GoStmt:
+				checkDroppedErr(p, n.Call, "go ")
+			}
+			return true
+		})
+	}
+}
+
+func checkDroppedErr(p *Pass, call *ast.CallExpr, prefix string) {
+	if !lastResultIsError(p, call) {
+		return
+	}
+	name := calleeFullName(p, call)
+	for _, excl := range errcheckExcluded {
+		if strings.HasPrefix(name, excl) {
+			return
+		}
+	}
+	if name == "" {
+		name = "function value"
+	}
+	p.Reportf(call.Pos(), "%scall to %s drops its error result", prefix, name)
+}
+
+// lastResultIsError reports whether the call's (non-conversion) result or
+// last tuple element is the built-in error type.
+func lastResultIsError(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.IsType() {
+		return false
+	}
+	t := tv.Type
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return isErrorType(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+// calleeFullName resolves the called function to its go/types FullName
+// (e.g. "os.Remove", "(*os.File).Close"), or "" for func values.
+func calleeFullName(p *Pass, call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return fn.FullName()
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn.FullName()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,221 @@
+package vslint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAlloc flags allocation and boxing constructs inside functions
+// annotated with a //vs:hotpath doc-comment line. The annotated functions
+// are VertexSurge's measured kernels (VExpand's or_column loops,
+// MIntersect's intersec_col, the stacked-column primitives); one stray
+// allocation or interface conversion there changes what Figure 9 measures.
+var HotpathAlloc = &Analyzer{
+	Name: "hotpath-alloc",
+	Doc:  "flag allocations, append growth, closures, and interface conversions in //vs:hotpath functions",
+	Run:  runHotpathAlloc,
+}
+
+func runHotpathAlloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, hotpathDirective) {
+				continue
+			}
+			checkHotFunc(p, fd)
+		}
+	}
+}
+
+func checkHotFunc(p *Pass, fd *ast.FuncDecl) {
+	var sig *types.Signature
+	if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+		sig = obj.Type().(*types.Signature)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(p, n)
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "closure (func literal) allocates in hot path")
+		case *ast.CompositeLit:
+			p.Reportf(n.Pos(), "composite literal allocates in hot path")
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "goroutine launch in hot path")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := p.typeOf(n); t != nil && isStringType(t) {
+					p.Reportf(n.Pos(), "string concatenation allocates in hot path")
+				}
+			}
+		case *ast.AssignStmt:
+			checkHotAssign(p, n)
+		case *ast.ValueSpec:
+			checkHotValueSpec(p, n)
+		case *ast.ReturnStmt:
+			checkHotReturn(p, sig, n)
+		}
+		return true
+	})
+}
+
+// checkHotCall flags allocating builtins, allocating conversions, and
+// implicit concrete-to-interface conversions at call boundaries.
+func checkHotCall(p *Pass, call *ast.CallExpr) {
+	// Conversion T(x): flag boxing and string<->slice copies.
+	if tv, ok := p.Info.Types[unparen(call.Fun)]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		dst := tv.Type
+		src := p.typeOf(call.Args[0])
+		if src == nil {
+			return
+		}
+		switch {
+		case types.IsInterface(dst) && !types.IsInterface(src) && !isUntypedNil(p, call.Args[0]):
+			p.Reportf(call.Pos(), "conversion of %s to interface %s allocates in hot path", src, dst)
+		case isStringType(dst) && isByteOrRuneSlice(src),
+			isByteOrRuneSlice(dst) && isStringType(src):
+			p.Reportf(call.Pos(), "string/slice conversion %s -> %s copies in hot path", src, dst)
+		}
+		return
+	}
+
+	// Allocating builtins.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				p.Reportf(call.Pos(), "make allocates in hot path")
+			case "new":
+				p.Reportf(call.Pos(), "new allocates in hot path")
+			case "append":
+				p.Reportf(call.Pos(), "append may grow its backing array in hot path")
+			}
+			return
+		}
+	}
+
+	// Implicit interface conversions of call arguments.
+	t := p.typeOf(call.Fun)
+	if t == nil {
+		return
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := p.typeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(p, arg) {
+			continue
+		}
+		p.Reportf(arg.Pos(), "implicit conversion of %s to interface parameter allocates in hot path", at)
+	}
+}
+
+// checkHotAssign flags concrete-to-interface conversions on plain
+// assignments (x = v where x has interface type).
+func checkHotAssign(p *Pass, as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
+		return // := never converts; multi-value rhs handled at the call site
+	}
+	for i, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		lt := p.typeOf(lhs)
+		rt := p.typeOf(as.Rhs[i])
+		if lt == nil || rt == nil {
+			continue
+		}
+		if types.IsInterface(lt) && !types.IsInterface(rt) && !isUntypedNil(p, as.Rhs[i]) {
+			p.Reportf(as.Rhs[i].Pos(), "assignment converts %s to interface %s in hot path", rt, lt)
+		}
+	}
+}
+
+// checkHotValueSpec flags var declarations with an explicit interface type
+// initialized from concrete values.
+func checkHotValueSpec(p *Pass, vs *ast.ValueSpec) {
+	if vs.Type == nil {
+		return
+	}
+	lt := p.typeOf(vs.Type)
+	if lt == nil || !types.IsInterface(lt) {
+		return
+	}
+	for _, v := range vs.Values {
+		rt := p.typeOf(v)
+		if rt != nil && !types.IsInterface(rt) && !isUntypedNil(p, v) {
+			p.Reportf(v.Pos(), "var declaration converts %s to interface %s in hot path", rt, lt)
+		}
+	}
+}
+
+// checkHotReturn flags concrete values returned through interface results.
+func checkHotReturn(p *Pass, sig *types.Signature, ret *ast.ReturnStmt) {
+	if sig == nil {
+		return
+	}
+	results := sig.Results()
+	if results.Len() != len(ret.Results) {
+		return // bare return or tuple-forwarding call
+	}
+	for i, r := range ret.Results {
+		rt := p.typeOf(r)
+		if rt == nil {
+			continue
+		}
+		lt := results.At(i).Type()
+		if types.IsInterface(lt) && !types.IsInterface(rt) && !isUntypedNil(p, r) {
+			p.Reportf(r.Pos(), "return converts %s to interface %s in hot path", rt, lt)
+		}
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+func isUntypedNil(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}

@@ -1,0 +1,64 @@
+package vslint
+
+import (
+	"testing"
+)
+
+// TestLoadModuleOnThisRepo loads and type-checks the enclosing module end
+// to end — the same path `go run ./cmd/vslint ./...` takes — and exercises
+// pattern matching. It doubles as a regression test that the repo itself
+// stays analyzably clean.
+func TestLoadModuleOnThisRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type check is slow; skipped with -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "repro" {
+		t.Fatalf("module path = %q, want repro", mod.Path)
+	}
+	byPath := map[string]bool{}
+	for _, p := range mod.Pkgs {
+		byPath[p.ImportPath] = true
+	}
+	for _, want := range []string{"repro", "repro/internal/vslint", "repro/internal/vexpand", "repro/internal/storage"} {
+		if !byPath[want] {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+
+	all, err := mod.Match([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(mod.Pkgs) {
+		t.Errorf("./... matched %d of %d packages", len(all), len(mod.Pkgs))
+	}
+	sub, err := mod.Match([]string{"./internal/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sub {
+		if p.ImportPath == "repro" || p.ImportPath == "repro/cmd/vslint" {
+			t.Errorf("./internal/... wrongly matched %s", p.ImportPath)
+		}
+	}
+	if _, err := mod.Match([]string{"./nosuchdir"}); err == nil {
+		t.Error("pattern with no matches should error")
+	}
+
+	// The repo itself must be finding-free: the CI gate runs this same
+	// check, and a regression here means a kernel/concurrency invariant
+	// broke.
+	for _, p := range all {
+		for _, f := range CheckPackage(p, All()) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package vslint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopy flags function receivers, parameters, and results whose type
+// contains a sync.Mutex or sync.RWMutex by value: copying such a value
+// (e.g. a SpillManager) forks the lock state and silently removes the
+// mutual exclusion the storage layer depends on.
+var MutexCopy = &Analyzer{
+	Name: "mutex-copy",
+	Doc:  "flag values containing sync.Mutex/RWMutex passed, returned, or received by value",
+	Run:  runMutexCopy,
+}
+
+func runMutexCopy(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkLockFields(p, n.Recv, "receiver")
+				}
+				checkLockFields(p, n.Type.Params, "parameter")
+				checkLockFields(p, n.Type.Results, "result")
+			case *ast.FuncLit:
+				checkLockFields(p, n.Type.Params, "parameter")
+				checkLockFields(p, n.Type.Results, "result")
+			}
+			return true
+		})
+	}
+}
+
+func checkLockFields(p *Pass, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		t := p.typeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if path := lockPath(t, map[types.Type]bool{}); path != "" {
+			p.Reportf(field.Pos(), "%s of type %s passes %s by value; use a pointer", kind, t, path)
+		}
+	}
+}
+
+// lockPath returns the name of a mutex reached by value inside t ("" if
+// none). Pointers, slices, maps, channels, and function types stop the
+// search: copying those does not copy the lock.
+func lockPath(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if isSyncType(t, "Mutex") {
+		return "sync.Mutex"
+	}
+	if isSyncType(t, "RWMutex") {
+		return "sync.RWMutex"
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if path := lockPath(u.Field(i).Type(), seen); path != "" {
+				return path
+			}
+		}
+	case *types.Array:
+		return lockPath(u.Elem(), seen)
+	}
+	return ""
+}

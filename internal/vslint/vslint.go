@@ -1,0 +1,291 @@
+// Package vslint is VertexSurge's project-specific static analysis. It is
+// built entirely on the stdlib go/parser, go/types, and go/token packages
+// (no golang.org/x/tools dependency) and enforces the invariants the
+// paper's kernels depend on:
+//
+//   - hotpath-alloc: functions annotated //vs:hotpath must not allocate —
+//     no make/new/append, no composite literals, no closures, no string
+//     concatenation, and no concrete-to-interface conversions. A stray
+//     allocation in VExpand's or_column loop or MIntersect's intersec_col
+//     silently destroys the microarchitectural behaviour Figure 9 measures.
+//   - unchecked-err: error returns must not be dropped on the floor,
+//     targeting the spill/mmap I/O paths in internal/storage.
+//   - goroutine-hygiene: worker fan-outs must not capture loop variables in
+//     spawned goroutines, must not call WaitGroup.Add inside the spawned
+//     goroutine, and must Wait on every local WaitGroup they Add to.
+//   - mutex-copy: values containing sync.Mutex/sync.RWMutex must not be
+//     passed, returned, or received by value.
+//
+// Findings are suppressed with a trailing or preceding comment of the form
+//
+//	//vs:nolint(analyzer-name) justification
+//
+// The analyzer list is optional (bare //vs:nolint suppresses everything on
+// the line), but the justification text is mandatory: an unjustified nolint
+// is itself reported.
+package vslint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported violation.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one package through one analysis run.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer string
+	report   func(f Finding)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Analyzer: p.analyzer,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// typeOf returns the static type of e, or nil if unknown.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// All returns every analyzer in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{HotpathAlloc, UncheckedErr, GoroutineHygiene, MutexCopy}
+}
+
+// CheckPackage runs the analyzers over pkg, applies //vs:nolint
+// suppressions, and returns the surviving findings sorted by position.
+func CheckPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	var raw []Finding
+	pass := &Pass{
+		Fset:  pkg.Fset,
+		Files: pkg.Files,
+		Pkg:   pkg.Types,
+		Info:  pkg.Info,
+	}
+	pass.report = func(f Finding) { raw = append(raw, f) }
+	for _, a := range analyzers {
+		pass.analyzer = a.Name
+		a.Run(pass)
+	}
+
+	sup := collectSuppressions(pkg)
+	out := sup.findings // unjustified nolint directives
+	for _, f := range raw {
+		if !sup.suppressed(f) {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+const (
+	nolintDirective  = "vs:nolint"
+	hotpathDirective = "vs:hotpath"
+)
+
+// hasDirective reports whether the comment group contains the directive as
+// a standalone marker line (e.g. "//vs:hotpath" optionally followed by
+// prose on the same line).
+func hasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// nolintSet is the set of analyzers suppressed at one source line; a nil
+// names map suppresses every analyzer.
+type nolintSet struct {
+	names map[string]bool
+}
+
+func (s *nolintSet) covers(analyzer string) bool {
+	return s.names == nil || s.names[analyzer]
+}
+
+type suppressions struct {
+	// byLine maps filename → line → suppression.
+	byLine map[string]map[int]*nolintSet
+	// findings holds violations of the nolint contract itself (missing
+	// justification, unknown analyzer name).
+	findings []Finding
+}
+
+func (s *suppressions) suppressed(f Finding) bool {
+	if set, ok := s.byLine[f.Pos.Filename][f.Pos.Line]; ok && set.covers(f.Analyzer) {
+		return true
+	}
+	return false
+}
+
+func (s *suppressions) add(filename string, line int, set *nolintSet) {
+	m, ok := s.byLine[filename]
+	if !ok {
+		m = map[int]*nolintSet{}
+		s.byLine[filename] = m
+	}
+	if prev, ok := m[line]; ok {
+		// Merge: an all-suppression absorbs named ones.
+		if prev.names == nil || set.names == nil {
+			m[line] = &nolintSet{}
+			return
+		}
+		for n := range set.names {
+			prev.names[n] = true
+		}
+		return
+	}
+	m[line] = set
+}
+
+// collectSuppressions scans every comment of the package for //vs:nolint
+// directives. A directive suppresses findings on the comment's own line and
+// on the line immediately following it (covering both trailing and
+// preceding placement); a directive in a function's doc comment suppresses
+// the whole function.
+func collectSuppressions(pkg *Package) *suppressions {
+	sup := &suppressions{byLine: map[string]map[int]*nolintSet{}}
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				set, ok := parseNolint(pkg, sup, known, c)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				end := pkg.Fset.Position(c.End())
+				for line := pos.Line; line <= end.Line+1; line++ {
+					sup.add(pos.Filename, line, set)
+				}
+			}
+		}
+		// Function-level suppression via the doc comment.
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			var set *nolintSet
+			for _, c := range fd.Doc.List {
+				if s, ok := parseNolint(pkg, nil, known, c); ok {
+					set = s
+					break
+				}
+			}
+			if set == nil {
+				continue
+			}
+			start := pkg.Fset.Position(fd.Pos())
+			end := pkg.Fset.Position(fd.End())
+			for line := start.Line; line <= end.Line; line++ {
+				sup.add(start.Filename, line, set)
+			}
+		}
+	}
+	return sup
+}
+
+// parseNolint parses one comment as a nolint directive. It returns ok=false
+// when the comment is not a directive. Contract violations (no
+// justification, unknown analyzer) are recorded on sup when non-nil.
+func parseNolint(pkg *Package, sup *suppressions, known map[string]bool, c *ast.Comment) (*nolintSet, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	rest, ok := strings.CutPrefix(text, nolintDirective)
+	if !ok {
+		return nil, false
+	}
+	set := &nolintSet{}
+	if strings.HasPrefix(rest, "(") {
+		close := strings.Index(rest, ")")
+		if close < 0 {
+			if sup != nil {
+				sup.findings = append(sup.findings, Finding{
+					Analyzer: "nolint",
+					Pos:      pkg.Fset.Position(c.Pos()),
+					Message:  "malformed //vs:nolint: missing ')'",
+				})
+			}
+			return nil, false
+		}
+		set.names = map[string]bool{}
+		for _, name := range strings.Split(rest[1:close], ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if sup != nil && !known[name] {
+				sup.findings = append(sup.findings, Finding{
+					Analyzer: "nolint",
+					Pos:      pkg.Fset.Position(c.Pos()),
+					Message:  fmt.Sprintf("//vs:nolint names unknown analyzer %q", name),
+				})
+			}
+			set.names[name] = true
+		}
+		rest = rest[close+1:]
+	}
+	if sup != nil && strings.TrimSpace(rest) == "" {
+		sup.findings = append(sup.findings, Finding{
+			Analyzer: "nolint",
+			Pos:      pkg.Fset.Position(c.Pos()),
+			Message:  "//vs:nolint requires a justification after the directive",
+		})
+	}
+	return set, true
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# verify.sh — the race-clean CI gate. Runs the full static-analysis and
+# test battery; every PR must pass this script.
+#
+# Usage:
+#   scripts/verify.sh            # full gate (build, vet, gofmt, vslint, tests, -race, fuzz smoke)
+#   FUZZTIME=30s scripts/verify.sh   # longer fuzz smoke
+#   SKIP_FUZZ=1 scripts/verify.sh    # skip the fuzz smoke (e.g. constrained machines)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "go build ./..."
+go build ./...
+
+step "gofmt check"
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+step "go vet ./..."
+go vet ./...
+
+step "vslint (hot-path + concurrency invariants)"
+go run ./cmd/vslint ./...
+
+step "go test ./..."
+go test ./...
+
+step "go test -race ./..."
+go test -race ./...
+
+if [ -z "${SKIP_FUZZ:-}" ]; then
+    step "fuzz smoke (${FUZZTIME} each)"
+    go test -run='^$' -fuzz=FuzzCypherParse -fuzztime="$FUZZTIME" ./internal/cypher
+    go test -run='^$' -fuzz=FuzzHilbertRoundTrip -fuzztime="$FUZZTIME" ./internal/hilbert
+fi
+
+step "verify OK"
