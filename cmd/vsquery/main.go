@@ -6,6 +6,12 @@
 //	vsquery -data ./data/lastfm \
 //	        -query 'MATCH (p:SIGA)-[:knows*..3]-(q:SIGA) RETURN COUNT(DISTINCT p,q)'
 //	vsquery -data ./data/fin -file tcr1.cypher -param id=1234
+//	vsquery -data ./data/lastfm \
+//	        -query 'PROFILE MATCH (p:SIGA)-[:knows*..3]-(q:SIGA) RETURN COUNT(DISTINCT p,q)'
+//
+// Prefixing the query with PROFILE prints the per-operator span tree
+// (planner, each expand with kernel and memo state, the intersection join)
+// after the result.
 //
 // Parameters given as -param name=value are typed by shape: integers become
 // int64, true/false become bool, comma-separated integers become an int64
@@ -135,6 +141,9 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("-- %d row(s) in %s\n", len(res.Rows), elapsed.Round(time.Microsecond))
+	if res.Profile != nil {
+		fmt.Print(res.Profile.Render())
+	}
 	if *timing {
 		tm := res.Timings
 		fmt.Printf("-- scan %s, expand %s, update-visit %s, intersect %s, aggregate %s\n",

@@ -4,28 +4,43 @@
 //
 //	vsserve -data ./data/lastfm -addr :7474
 //	curl -s localhost:7474/stats
+//	curl -s localhost:7474/metrics
 //	curl -s localhost:7474/query -d '{"query":"MATCH (p:SIGA)-[:knows*..3]-(q:SIGA) RETURN COUNT(DISTINCT p,q)"}'
+//
+// Operational flags:
+//
+//	-debug-addr 127.0.0.1:6060   net/http/pprof endpoints (off by default)
+//	-slow-query 500ms            log the operator span tree of slower queries
+//	-access-log                  structured access log with request IDs (on by default)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/server"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vsserve: ")
 	var (
-		data    = flag.String("data", "", "graph directory written by vsgen (required)")
-		addr    = flag.String("addr", ":7474", "listen address")
-		workers = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		data      = flag.String("data", "", "graph directory written by vsgen (required)")
+		addr      = flag.String("addr", ":7474", "listen address")
+		workers   = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		debugAddr = flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. 127.0.0.1:6060)")
+		slowQuery = flag.Duration("slow-query", 0, "log the span tree of queries slower than this (0 = off)")
+		accessLog = flag.Bool("access-log", true, "structured access log with request IDs")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -37,6 +52,45 @@ func main() {
 		log.Fatal(err)
 	}
 	eng := engine.New(g, engine.Options{Workers: *workers})
-	fmt.Printf("serving %s (|V|=%d |E|=%d) on %s\n", *data, g.NumVertices(), g.NumEdges(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(eng)))
+
+	var logger *slog.Logger
+	if *accessLog || *slowQuery > 0 {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	srv := server.NewWithOptions(eng, server.Options{
+		Logger:    logger,
+		SlowQuery: *slowQuery,
+	})
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
+
+	// Listen before announcing so `-addr 127.0.0.1:0` prints the actual
+	// bound port (the verify.sh smoke step scrapes this line).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %s (|V|=%d |E|=%d) on %s\n", *data, g.NumVertices(), g.NumEdges(), ln.Addr())
+	log.Fatal(http.Serve(ln, srv))
+}
+
+// serveDebug exposes the pprof endpoints and a second /metrics on a
+// dedicated (typically loopback-only) listener, keeping profiling off the
+// public query port.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = telemetry.Default.WriteTo(w)
+	})
+	dbg := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	log.Printf("debug server (pprof, /metrics) on %s", addr)
+	log.Fatal(dbg.ListenAndServe())
 }

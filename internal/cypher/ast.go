@@ -8,6 +8,9 @@ import (
 
 // Query is a parsed query.
 type Query struct {
+	// Profile marks a `PROFILE <query>`: execute and attach the
+	// per-operator span tree to the result.
+	Profile bool
 	// Unwind, when present, iterates a list parameter binding Alias per
 	// iteration (Case 5's UNWIND $person_ids AS pid).
 	Unwind *Unwind

@@ -1,11 +1,13 @@
 package cypher
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/pattern"
+	"repro/internal/telemetry"
 )
 
 // Result is a query's output table.
@@ -13,14 +15,49 @@ type Result struct {
 	Columns []string
 	Rows    [][]any
 	Timings engine.Timings
+	// Profile is the per-operator span tree, set when the query was a
+	// `PROFILE <query>` (or the caller attached its own trace and asked
+	// for it); nil otherwise.
+	Profile *telemetry.SpanSnapshot
 }
 
 // Run executes a parsed query against eng with the given parameters.
 // Parameter values may be int64/int/string/bool; UNWIND parameters must be
 // slices ([]int64 or []any).
 func Run(eng *engine.Engine, q *Query, params map[string]any) (*Result, error) {
+	return RunContext(context.Background(), eng, q, params)
+}
+
+// RunContext is Run with trace propagation. Every call counts into the
+// query metrics (total, failed, in-flight). When q.Profile is set and ctx
+// has no trace yet, a trace is created and its snapshot attached to
+// Result.Profile; when the caller already traces ctx (the server's
+// slow-query path), its spans accumulate there instead and Profile is left
+// for the caller to fill.
+func RunContext(ctx context.Context, eng *engine.Engine, q *Query, params map[string]any) (*Result, error) {
+	telemetry.QueriesInFlight.Add(1)
+	defer telemetry.QueriesInFlight.Add(-1)
+	defer telemetry.QueriesTotal.Inc()
+
+	var root *telemetry.Span
+	if q.Profile && telemetry.CurrentSpan(ctx) == nil {
+		ctx, root = telemetry.NewTrace(ctx, "query")
+	}
+	res, err := runAll(ctx, eng, q, params)
+	if err != nil {
+		telemetry.QueriesFailed.Inc()
+		return nil, err
+	}
+	if root != nil {
+		root.End()
+		res.Profile = root.Snapshot()
+	}
+	return res, nil
+}
+
+func runAll(ctx context.Context, eng *engine.Engine, q *Query, params map[string]any) (*Result, error) {
 	if q.Unwind == nil {
-		return runOnce(eng, q, params)
+		return runOnce(ctx, eng, q, params)
 	}
 	raw, ok := params[q.Unwind.Param]
 	if !ok {
@@ -37,7 +74,7 @@ func Run(eng *engine.Engine, q *Query, params map[string]any) (*Result, error) {
 			sub[k] = val
 		}
 		sub[q.Unwind.Alias] = v
-		r, err := runOnce(eng, q, sub)
+		r, err := runOnce(ctx, eng, q, sub)
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +290,7 @@ func contains(xs []string, s string) bool {
 }
 
 // runOnce executes the query with fully resolved parameters.
-func runOnce(eng *engine.Engine, q *Query, params map[string]any) (*Result, error) {
+func runOnce(ctx context.Context, eng *engine.Engine, q *Query, params map[string]any) (*Result, error) {
 	b, err := bind(q, params)
 	if err != nil {
 		return nil, err
@@ -276,14 +313,14 @@ func runOnce(eng *engine.Engine, q *Query, params map[string]any) (*Result, erro
 	// the whole pattern — the engine counts without materializing.
 	if len(q.Return) == 1 && q.Return[0].Agg == "count" && q.Return[0].Distinct &&
 		allPlainVars(q.Return[0].Args) && len(q.Return[0].Args) == len(b.pat.Vertices) && q.Unwind == nil {
-		res, err := eng.Match(b.pat, engine.MatchOptions{CountOnly: true})
+		res, err := eng.MatchContext(ctx, b.pat, engine.MatchOptions{CountOnly: true})
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Columns: columns, Rows: [][]any{{res.Count}}, Timings: res.Timings}, nil
 	}
 
-	res, err := eng.Match(b.pat, engine.MatchOptions{})
+	res, err := eng.MatchContext(ctx, b.pat, engine.MatchOptions{})
 	if err != nil {
 		return nil, err
 	}

@@ -74,6 +74,11 @@ func (p *parser) expectKeyword(kw string) error {
 
 func (p *parser) parseQuery() (*Query, error) {
 	q := &Query{}
+	// PROFILE <query>: execute normally but collect and return the
+	// per-operator span tree (Result.Profile).
+	if p.acceptKeyword("PROFILE") {
+		q.Profile = true
+	}
 	// UNWIND $param AS alias
 	if p.acceptKeyword("UNWIND") {
 		t, err := p.expect(tokParam, "parameter after UNWIND")

@@ -10,6 +10,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/mintersect"
 	"repro/internal/pattern"
 	"repro/internal/planner"
+	"repro/internal/telemetry"
 	"repro/internal/vexpand"
 )
 
@@ -110,6 +112,17 @@ type MatchResult struct {
 // tuples (Definition 3). Matching uses walk semantics for ANY determiners
 // (§2.2) and requires the match to be a bijection.
 func (e *Engine) Match(pat *pattern.Pattern, opts MatchOptions) (*MatchResult, error) {
+	return e.MatchContext(context.Background(), pat, opts)
+}
+
+// MatchContext is Match with trace propagation: when ctx carries an active
+// trace (internal/telemetry), execution records one span per operator call
+// — "plan" for the planner build, one "expand" per planned edge (with
+// kernel, source count, stack count, matrix bytes, and memo hit/miss),
+// "intersect" for the Generic Join, and "aggregate" for tuple reordering.
+// Every completed Match also feeds the per-stage latency histograms and
+// expand matrix byte counter of the default metrics registry.
+func (e *Engine) MatchContext(ctx context.Context, pat *pattern.Pattern, opts MatchOptions) (*MatchResult, error) {
 	start := time.Now()
 	res := &MatchResult{}
 	for _, v := range pat.Vertices {
@@ -117,6 +130,7 @@ func (e *Engine) Match(pat *pattern.Pattern, opts MatchOptions) (*MatchResult, e
 	}
 
 	t0 := time.Now()
+	_, psp := telemetry.StartSpan(ctx, "plan")
 	var plan *planner.Plan
 	var err error
 	if opts.Order != nil {
@@ -125,8 +139,12 @@ func (e *Engine) Match(pat *pattern.Pattern, opts MatchOptions) (*MatchResult, e
 		plan, err = planner.Build(e.g, pat)
 	}
 	if err != nil {
+		psp.End()
 		return nil, err
 	}
+	psp.SetInt("vertices", int64(len(pat.Vertices)))
+	psp.SetInt("edges", int64(len(plan.Edges)))
+	psp.End()
 	res.Timings.Scan = time.Since(t0)
 
 	n := len(pat.Vertices)
@@ -142,16 +160,17 @@ func (e *Engine) Match(pat *pattern.Pattern, opts MatchOptions) (*MatchResult, e
 			}
 		}
 		res.Timings.Total = time.Since(start)
+		e.recordMatch(res)
 		return res, nil
 	}
 
-	in, err := e.buildJoinInput(plan, res)
+	in, err := e.buildJoinInput(ctx, plan, res)
 	if err != nil {
 		return nil, err
 	}
 
 	t1 := time.Now()
-	jr, err := mintersect.Run(in, mintersect.Options{
+	jr, err := mintersect.RunContext(ctx, in, mintersect.Options{
 		CountOnly: opts.CountOnly,
 		Limit:     opts.Limit,
 		Workers:   e.opts.Workers,
@@ -164,6 +183,7 @@ func (e *Engine) Match(pat *pattern.Pattern, opts MatchOptions) (*MatchResult, e
 
 	// Reorder tuples from join order back to pattern declaration order.
 	t2 := time.Now()
+	_, asp := telemetry.StartSpan(ctx, "aggregate")
 	if !opts.CountOnly {
 		res.Tuples = make([][]graph.VertexID, len(jr.Tuples))
 		for i, tup := range jr.Tuples {
@@ -174,9 +194,21 @@ func (e *Engine) Match(pat *pattern.Pattern, opts MatchOptions) (*MatchResult, e
 			res.Tuples[i] = out
 		}
 	}
+	asp.SetInt("tuples", res.Count)
+	asp.End()
 	res.Timings.Aggregate = time.Since(t2)
 	res.Timings.Total = time.Since(start)
+	e.recordMatch(res)
 	return res, nil
+}
+
+// recordMatch feeds one completed Match into the metrics registry.
+func (e *Engine) recordMatch(res *MatchResult) {
+	t := res.Timings
+	telemetry.ObserveStages(t.Scan, t.Expand, t.UpdateVisit, t.Intersect, t.Aggregate, t.Total)
+	if res.ExpandStats.MatrixBytes > 0 {
+		telemetry.ExpandMatrixBytes.Add(res.ExpandStats.MatrixBytes)
+	}
 }
 
 // buildJoinInput expands every planned edge and assembles the MIntersect
@@ -188,7 +220,7 @@ func (e *Engine) Match(pat *pattern.Pattern, opts MatchOptions) (*MatchResult, e
 // determiner (e.g. the community triangle's b–c and a–c edges, both
 // expanding from c) share one reachability matrix — the pattern-symmetry
 // optimization §2.3.2 describes for the VLP search phase.
-func (e *Engine) buildJoinInput(plan *planner.Plan, res *MatchResult) (*mintersect.Input, error) {
+func (e *Engine) buildJoinInput(ctx context.Context, plan *planner.Plan, res *MatchResult) (*mintersect.Input, error) {
 	n := len(plan.Order)
 	type key struct{ earlier, later int }
 	matrices := make(map[key]*bitmatrix.Matrix)
@@ -199,15 +231,19 @@ func (e *Engine) buildJoinInput(plan *planner.Plan, res *MatchResult) (*minterse
 		// omits EdgePropEq; fmt prints maps in sorted key order).
 		memoKey := fmt.Sprintf("%d|%d|%d|%d|%d|%v|%v",
 			pe.ExpandFrom, pe.D.KMin, pe.D.KMax, pe.D.Dir, pe.D.Type, pe.D.EdgeLabels, pe.D.EdgePropEq)
+		ectx, esp := telemetry.StartSpan(ctx, "expand")
+		esp.SetInt("from", int64(pe.ExpandFrom))
 		r, ok := memo[memoKey]
 		if !ok {
+			esp.SetStr("memo", "miss")
 			t0 := time.Now()
 			var err error
-			r, err = vexpand.Expand(e.g, sources, pe.D, vexpand.Options{
+			r, err = vexpand.ExpandContext(ectx, e.g, sources, pe.D, vexpand.Options{
 				Kernel:  e.opts.Kernel,
 				Workers: e.opts.Workers,
 			})
 			if err != nil {
+				esp.End()
 				return nil, err
 			}
 			wall := time.Since(t0)
@@ -220,7 +256,16 @@ func (e *Engine) buildJoinInput(plan *planner.Plan, res *MatchResult) (*minterse
 			// tracked visited-set maintenance.
 			res.Timings.Expand += wall - r.Stats.UpdateVisitTime
 			res.Timings.UpdateVisit += r.Stats.UpdateVisitTime
+		} else {
+			// The pattern-symmetry memo answered this edge for free; the
+			// span keeps the operator call visible with its shared shape.
+			esp.SetStr("memo", "hit")
+			esp.SetStr("kernel", r.Stats.Kernel.String())
+			esp.SetInt("sources", int64(len(sources)))
+			esp.SetInt("kmin", int64(pe.D.KMin))
+			esp.SetInt("kmax", int64(pe.D.KMax))
 		}
+		esp.End()
 		k := key{pe.EarlierPos, pe.LaterPos}
 		if m, ok := matrices[k]; ok {
 			m.And(r.Reach)
@@ -263,7 +308,15 @@ func (e *Engine) buildJoinInput(plan *planner.Plan, res *MatchResult) (*minterse
 // set. The tuple slice is reused between calls — copy it to retain it.
 // Streaming runs the join serially (no seed partitioning).
 func (e *Engine) MatchForEach(pat *pattern.Pattern, fn func(tuple []graph.VertexID)) error {
+	return e.MatchForEachContext(context.Background(), pat, fn)
+}
+
+// MatchForEachContext is MatchForEach with trace propagation (see
+// MatchContext for the span model).
+func (e *Engine) MatchForEachContext(ctx context.Context, pat *pattern.Pattern, fn func(tuple []graph.VertexID)) error {
+	_, psp := telemetry.StartSpan(ctx, "plan")
 	plan, err := planner.Build(e.g, pat)
+	psp.End()
 	if err != nil {
 		return err
 	}
@@ -277,13 +330,13 @@ func (e *Engine) MatchForEach(pat *pattern.Pattern, fn func(tuple []graph.Vertex
 		return nil
 	}
 	res := &MatchResult{}
-	in, err := e.buildJoinInput(plan, res)
+	in, err := e.buildJoinInput(ctx, plan, res)
 	if err != nil {
 		return err
 	}
 	buf := make([]graph.VertexID, n)
 	var jr mintersect.Result
-	return mintersect.ForEach(in, mintersect.Options{}, func(tuple []graph.VertexID) {
+	return mintersect.ForEachContext(ctx, in, mintersect.Options{}, func(tuple []graph.VertexID) {
 		for pos, v := range tuple {
 			buf[plan.Order[pos]] = v
 		}

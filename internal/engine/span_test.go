@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/telemetry"
+)
+
+// collectSpans flattens a snapshot tree into name → snapshots.
+func collectSpans(s *telemetry.SpanSnapshot, out map[string][]*telemetry.SpanSnapshot) {
+	out[s.Name] = append(out[s.Name], s)
+	for _, c := range s.Children {
+		collectSpans(c, out)
+	}
+}
+
+// TestMatchSpanTree pins the tentpole tracing contract: a Match under a
+// trace emits one plan span, one expand span per pattern edge (annotated
+// with the kernel and memo state), one intersect span, and an aggregate
+// span — and the children's durations sum to no more than the root's.
+func TestMatchSpanTree(t *testing.T) {
+	g := socialGraph(t)
+	e := New(g, Options{})
+	d := knowsDet(1, 2)
+	// All three edges share one determiner, so the pattern-symmetry memo
+	// (§2.3.2) must answer at least one expansion for free.
+	pat := &pattern.Pattern{
+		Vertices: []pattern.Vertex{
+			{Name: "a", Labels: []string{"SIGA"}},
+			{Name: "b", Labels: []string{"SIGB"}},
+			{Name: "c", Labels: []string{"SIGC"}},
+		},
+		Edges: []pattern.Edge{
+			{Src: "a", Dst: "b", D: d},
+			{Src: "b", Dst: "c", D: d},
+			{Src: "a", Dst: "c", D: d},
+		},
+	}
+
+	ctx, root := telemetry.NewTrace(context.Background(), "query")
+	if _, err := e.MatchContext(ctx, pat, MatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	snap := root.Snapshot()
+
+	byName := map[string][]*telemetry.SpanSnapshot{}
+	collectSpans(snap, byName)
+
+	if n := len(byName["plan"]); n != 1 {
+		t.Fatalf("plan spans = %d, want 1", n)
+	}
+	if n := len(byName["expand"]); n != len(pat.Edges) {
+		t.Fatalf("expand spans = %d, want %d (one per edge)", n, len(pat.Edges))
+	}
+	if n := len(byName["intersect"]); n != 1 {
+		t.Fatalf("intersect spans = %d, want 1", n)
+	}
+	if n := len(byName["aggregate"]); n != 1 {
+		t.Fatalf("aggregate spans = %d, want 1", n)
+	}
+
+	// Every expand span carries memo state, kernel, and source count; with
+	// a fully symmetric triangle at least one must be a memo hit and at
+	// least one a miss.
+	hits, misses := 0, 0
+	for _, es := range byName["expand"] {
+		switch es.Attrs["memo"] {
+		case "hit":
+			hits++
+		case "miss":
+			misses++
+		default:
+			t.Fatalf("expand span without memo attribute: %+v", es.Attrs)
+		}
+		if k, ok := es.Attrs["kernel"].(string); !ok || k == "" {
+			t.Fatalf("expand span without kernel attribute: %+v", es.Attrs)
+		}
+		if _, ok := es.Attrs["sources"]; !ok {
+			t.Fatalf("expand span without sources attribute: %+v", es.Attrs)
+		}
+	}
+	if hits == 0 || misses == 0 {
+		t.Fatalf("memo hits = %d, misses = %d; want both > 0", hits, misses)
+	}
+
+	// Span durations must nest: direct children sum to at most the parent.
+	var checkNesting func(s *telemetry.SpanSnapshot)
+	checkNesting = func(s *telemetry.SpanSnapshot) {
+		var sum float64
+		for _, c := range s.Children {
+			sum += c.DurationMs
+			checkNesting(c)
+		}
+		// Tiny float slack: children are timed independently of the parent.
+		if sum > s.DurationMs*1.01+0.1 {
+			t.Fatalf("span %q children sum %.3fms > own %.3fms", s.Name, sum, s.DurationMs)
+		}
+	}
+	checkNesting(snap)
+}
+
+// TestMatchWithoutTraceEmitsNoSpans pins the disabled path: without a trace
+// in the context, Match runs and CurrentSpan stays nil throughout.
+func TestMatchWithoutTraceEmitsNoSpans(t *testing.T) {
+	g := socialGraph(t)
+	e := New(g, Options{})
+	pat := &pattern.Pattern{
+		Vertices: []pattern.Vertex{
+			{Name: "a", Labels: []string{"SIGA"}},
+			{Name: "b", Labels: []string{"SIGB"}},
+		},
+		Edges: []pattern.Edge{{Src: "a", Dst: "b", D: knowsDet(1, 2)}},
+	}
+	if _, err := e.MatchContext(context.Background(), pat, MatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if sp := telemetry.CurrentSpan(context.Background()); sp != nil {
+		t.Fatalf("CurrentSpan on background context = %v, want nil", sp)
+	}
+}

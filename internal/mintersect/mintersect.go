@@ -12,12 +12,14 @@
 package mintersect
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sync"
 
 	"repro/internal/bitmatrix"
 	"repro/internal/graph"
+	"repro/internal/telemetry"
 )
 
 // EdgeMatrix is the reachability matrix of one pattern edge, oriented for
@@ -123,6 +125,39 @@ func (in *Input) validate() error {
 // partitioned across goroutines; the merged result is deterministic
 // because partitions preserve FirstCols order.
 func Run(in *Input, opts Options) (*Result, error) {
+	return RunContext(context.Background(), in, opts)
+}
+
+// RunContext is Run with trace propagation: when ctx carries an active
+// trace, the join records an "intersect" span with the worker count,
+// seed pairs, column intersections, and tuples emitted.
+func RunContext(ctx context.Context, in *Input, opts Options) (*Result, error) {
+	_, sp := telemetry.StartSpan(ctx, "intersect")
+	res, err := run(in, opts)
+	if err == nil {
+		annotateSpan(sp, res, opts)
+	}
+	sp.End()
+	return res, err
+}
+
+// annotateSpan records the join's effort on the enclosing span (no-op on a
+// nil span).
+func annotateSpan(sp *telemetry.Span, res *Result, opts Options) {
+	if sp == nil {
+		return
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	sp.SetInt("workers", int64(workers))
+	sp.SetInt("tuples", res.Count)
+	sp.SetInt("seed_pairs", res.Stats.SeedPairs)
+	sp.SetInt("intersections", res.Stats.Intersections)
+}
+
+func run(in *Input, opts Options) (*Result, error) {
 	workers := opts.Workers
 	if workers > len(in.FirstCols) {
 		workers = len(in.FirstCols)
@@ -173,7 +208,7 @@ func Run(in *Input, opts Options) (*Result, error) {
 
 func runSerial(in *Input, opts Options) (*Result, error) {
 	res := &Result{}
-	err := ForEach(in, opts, func(tuple []graph.VertexID) {
+	err := forEach(in, opts, func(tuple []graph.VertexID) {
 		if !opts.CountOnly {
 			res.Tuples = append(res.Tuples, append([]graph.VertexID(nil), tuple...))
 		}
@@ -188,6 +223,21 @@ func runSerial(in *Input, opts Options) (*Result, error) {
 // opts.CountOnly is set fn is never called and only statistics and the
 // count accumulate in res.
 func ForEach(in *Input, opts Options, fn func(tuple []graph.VertexID), res *Result) error {
+	return ForEachContext(context.Background(), in, opts, fn, res)
+}
+
+// ForEachContext is ForEach with trace propagation (see RunContext).
+func ForEachContext(ctx context.Context, in *Input, opts Options, fn func(tuple []graph.VertexID), res *Result) error {
+	_, sp := telemetry.StartSpan(ctx, "intersect")
+	err := forEach(in, opts, fn, res)
+	if err == nil {
+		annotateSpan(sp, res, opts)
+	}
+	sp.End()
+	return err
+}
+
+func forEach(in *Input, opts Options, fn func(tuple []graph.VertexID), res *Result) error {
 	if err := in.validate(); err != nil {
 		return err
 	}

@@ -8,6 +8,10 @@
 //	\timing on|off    toggle the per-stage breakdown
 //	\help             list commands
 //	\quit             exit
+//
+// Prefixing a query with PROFILE executes it and prints the per-operator
+// span tree (planner, each expand with its kernel and memo state, the
+// intersection join) under the result table.
 package repl
 
 import (
@@ -89,6 +93,7 @@ func (r *REPL) command(line string) bool {
 	case `\help`, `\h`:
 		fmt.Fprintln(r.out, `commands:
   <query>;           execute a query (may span lines)
+  PROFILE <query>;   execute and print the operator span tree
   \explain <query>   show the plan
   \stats             graph statistics
   \timing on|off     per-stage breakdown after each query
@@ -146,6 +151,9 @@ func (r *REPL) execute(src string) {
 	elapsed := time.Since(start)
 	printTable(r.out, res)
 	fmt.Fprintf(r.out, "(%d row(s) in %s)\n", len(res.Rows), elapsed.Round(time.Microsecond))
+	if res.Profile != nil {
+		fmt.Fprint(r.out, res.Profile.Render())
+	}
 	if r.timing {
 		tm := res.Timings
 		fmt.Fprintf(r.out, "(scan %s, expand %s, update-visit %s, intersect %s, aggregate %s)\n",

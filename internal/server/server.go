@@ -1,37 +1,76 @@
 // Package server exposes a loaded graph as a read-only HTTP query service.
 // VertexSurge is a read-only VLGPM engine (§2.3.1), which makes the service
-// surface small: run queries, explain plans, inspect the graph.
+// surface small: run queries, explain plans, inspect the graph, observe
+// the engine.
 //
 // Endpoints:
 //
-//	POST /query    {"query": "...", "params": {...}}  → {"columns": [...], "rows": [...], "timings": {...}}
+//	POST /query    {"query": "...", "params": {...}, "profile": bool}  → {"columns": [...], "rows": [...], "timings": {...}, "profile": {...}}
 //	POST /explain  {"query": "...", "params": {...}}  → {"plan": "..."}
 //	GET  /stats                                       → graph statistics
+//	GET  /metrics                                     → Prometheus text exposition
 //	GET  /healthz                                     → 200 ok
+//
+// Request bodies are bounded (Options.MaxRequestBytes, default 1 MiB).
+// With Options.Logger set, every request emits one structured access-log
+// line carrying a request ID (also returned as X-Request-Id); queries
+// slower than Options.SlowQuery additionally log their full operator span
+// tree.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cypher"
 	"repro/internal/engine"
+	"repro/internal/telemetry"
 )
+
+// DefaultMaxRequestBytes bounds POST bodies unless overridden: 1 MiB is
+// orders of magnitude above any real query text.
+const DefaultMaxRequestBytes = 1 << 20
+
+// Options configures the operational surface of a Server.
+type Options struct {
+	// Logger, when non-nil, receives one structured access-log record per
+	// request and the slow-query reports.
+	Logger *slog.Logger
+	// SlowQuery, when > 0, traces every query and logs the full operator
+	// span tree of any query whose end-to-end wall time exceeds it.
+	SlowQuery time.Duration
+	// MaxRequestBytes bounds request bodies; 0 = DefaultMaxRequestBytes.
+	MaxRequestBytes int64
+}
 
 // Server is an http.Handler serving VLGPM queries over one graph.
 type Server struct {
-	eng *engine.Engine
-	mux *http.ServeMux
+	eng   *engine.Engine
+	mux   *http.ServeMux
+	opts  Options
+	reqID atomic.Uint64
 }
 
-// New returns a server over eng.
-func New(eng *engine.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+// New returns a server over eng with default options.
+func New(eng *engine.Engine) *Server { return NewWithOptions(eng, Options{}) }
+
+// NewWithOptions returns a server over eng with the given operational
+// options.
+func NewWithOptions(eng *engine.Engine, opts Options) *Server {
+	if opts.MaxRequestBytes <= 0 {
+		opts.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	s := &Server{eng: eng, mux: http.NewServeMux(), opts: opts}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /explain", s.handleExplain)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -39,9 +78,46 @@ func New(eng *engine.Engine) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: it assigns a request ID, bounds the
+// body, dispatches, and emits the access-log record.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	start := time.Now()
+	id := strconv.FormatUint(s.reqID.Add(1), 10)
+	w.Header().Set("X-Request-Id", id)
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes)
+	}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	if s.opts.Logger != nil {
+		s.opts.Logger.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration", time.Since(start),
+			"remote", r.RemoteAddr,
+		)
+	}
+}
+
+// statusWriter captures the response status and size for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // QueryRequest is the body of POST /query and POST /explain.
@@ -51,13 +127,17 @@ type QueryRequest struct {
 	// float64 and are normalized to int64 when integral, and []any lists
 	// of integral numbers become []int64 for UNWIND.
 	Params map[string]any `json:"params"`
+	// Profile requests the per-operator span tree in the response
+	// (equivalent to prefixing the query text with PROFILE).
+	Profile bool `json:"profile"`
 }
 
 // QueryResponse is the body of a successful POST /query.
 type QueryResponse struct {
-	Columns []string        `json:"columns"`
-	Rows    [][]any         `json:"rows"`
-	Timings TimingsResponse `json:"timings"`
+	Columns []string                `json:"columns"`
+	Rows    [][]any                 `json:"rows"`
+	Timings TimingsResponse         `json:"timings"`
+	Profile *telemetry.SpanSnapshot `json:"profile,omitempty"`
 }
 
 // TimingsResponse is the stage breakdown in milliseconds.
@@ -70,20 +150,19 @@ type TimingsResponse struct {
 	TotalMs       float64 `json:"total_ms"`
 }
 
+// toTimings converts the engine's stage breakdown, with TotalMs always the
+// end-to-end wall time of the request (parse and translate included) — the
+// engine-reported total only covers Match execution.
 func toTimings(t engine.Timings, wall time.Duration) TimingsResponse {
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-	out := TimingsResponse{
+	return TimingsResponse{
 		ScanMs:        ms(t.Scan),
 		ExpandMs:      ms(t.Expand),
 		UpdateVisitMs: ms(t.UpdateVisit),
 		IntersectMs:   ms(t.Intersect),
 		AggregateMs:   ms(t.Aggregate),
-		TotalMs:       ms(t.Total),
+		TotalMs:       ms(wall),
 	}
-	if out.TotalMs == 0 {
-		out.TotalMs = ms(wall)
-	}
-	return out
 }
 
 // errorResponse is every endpoint's failure body.
@@ -102,6 +181,10 @@ func decodeRequest(r *http.Request) (*QueryRequest, error) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
 		return nil, fmt.Errorf("bad request body: %w", err)
 	}
 	if req.Query == "" {
@@ -149,6 +232,7 @@ func normalizeValue(v any) any {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	req, err := decodeRequest(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
@@ -159,21 +243,50 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
-	start := time.Now()
-	res, err := cypher.Run(s.eng, q, req.Params)
+
+	// Trace when the client asked for a profile (JSON flag or PROFILE
+	// keyword) or when the slow-query log may need the span tree.
+	wantProfile := req.Profile || q.Profile
+	ctx := r.Context()
+	var root *telemetry.Span
+	if wantProfile || s.opts.SlowQuery > 0 {
+		ctx, root = telemetry.NewTrace(ctx, "query")
+	}
+
+	res, err := cypher.RunContext(ctx, s.eng, q, req.Params)
+	wall := time.Since(start)
+	root.End()
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
 		return
+	}
+
+	var profile *telemetry.SpanSnapshot
+	if root != nil {
+		profile = root.Snapshot()
+	}
+	if s.opts.SlowQuery > 0 && wall > s.opts.SlowQuery && s.opts.Logger != nil {
+		s.opts.Logger.Warn("slow query",
+			"id", w.Header().Get("X-Request-Id"),
+			"duration", wall,
+			"threshold", s.opts.SlowQuery,
+			"query", req.Query,
+			"spans", "\n"+profile.Render(),
+		)
 	}
 	rows := res.Rows
 	if rows == nil {
 		rows = [][]any{}
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{
+	resp := QueryResponse{
 		Columns: res.Columns,
 		Rows:    rows,
-		Timings: toTimings(res.Timings, time.Since(start)),
-	})
+		Timings: toTimings(res.Timings, wall),
+	}
+	if wantProfile {
+		resp.Profile = profile
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -193,6 +306,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
+}
+
+// handleMetrics serves the default telemetry registry in Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = telemetry.Default.WriteTo(w)
 }
 
 // StatsResponse is GET /stats' body.

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/bitmatrix"
+	"repro/internal/telemetry"
 )
 
 // SpillManager offloads intermediate bit matrices to disk when they exceed
@@ -72,6 +74,17 @@ func (s *SpillManager) Sync() error {
 // Spill writes m to worker's dedicated spill file and returns a handle.
 // Safe for concurrent use by distinct workers.
 func (s *SpillManager) Spill(worker int, m *bitmatrix.Matrix) (Handle, error) {
+	return s.SpillContext(context.Background(), worker, m)
+}
+
+// SpillContext is Spill with trace propagation: when ctx carries an active
+// trace, the write records a "spill.write" span with the bytes written and
+// whether a new spill file was created. Spill byte/file totals always
+// accumulate into the telemetry registry.
+func (s *SpillManager) SpillContext(ctx context.Context, worker int, m *bitmatrix.Matrix) (Handle, error) {
+	_, sp := telemetry.StartSpan(ctx, "spill.write")
+	defer sp.End()
+
 	s.mu.Lock()
 	f, ok := s.files[worker]
 	if !ok {
@@ -83,6 +96,8 @@ func (s *SpillManager) Spill(worker int, m *bitmatrix.Matrix) (Handle, error) {
 			return 0, fmt.Errorf("storage: %w", err)
 		}
 		s.files[worker] = f
+		telemetry.SpillWriteFiles.Inc()
+		sp.SetInt("new_file", 1)
 	}
 	id := s.next
 	s.next++
@@ -109,11 +124,24 @@ func (s *SpillManager) Spill(worker int, m *bitmatrix.Matrix) (Handle, error) {
 	}
 	s.bytes += int64(len(buf))
 	s.mu.Unlock()
+	telemetry.SpillWriteBytes.Add(int64(len(buf)))
+	sp.SetInt("bytes", int64(len(buf)))
+	sp.SetInt("worker", int64(worker))
 	return Handle(id), nil
 }
 
 // Load reads a spilled matrix back into memory.
 func (s *SpillManager) Load(h Handle) (*bitmatrix.Matrix, error) {
+	return s.LoadContext(context.Background(), h)
+}
+
+// LoadContext is Load with trace propagation: an active trace records a
+// "spill.load" span with the bytes read. Read-back totals accumulate into
+// the telemetry registry.
+func (s *SpillManager) LoadContext(ctx context.Context, h Handle) (*bitmatrix.Matrix, error) {
+	_, sp := telemetry.StartSpan(ctx, "spill.load")
+	defer sp.End()
+
 	s.mu.Lock()
 	rec, ok := s.handles[int(h)]
 	f := s.files[rec.worker]
@@ -128,6 +156,8 @@ func (s *SpillManager) Load(h Handle) (*bitmatrix.Matrix, error) {
 	if _, err := f.ReadAt(buf, rec.offset); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
+	telemetry.SpillReadBytes.Add(int64(len(buf)))
+	sp.SetInt("bytes", int64(len(buf)))
 	m := bitmatrix.New(rec.rows, rec.cols)
 	words := m.Words()
 	if int64(len(words)) != rec.words {

@@ -1,0 +1,62 @@
+package telemetry
+
+import "time"
+
+// Default is the process-wide registry behind GET /metrics. Engine-level
+// instruments below record into it from wherever queries run (HTTP server,
+// REPL, CLI) — the exposition endpoint only reads.
+var Default = NewRegistry()
+
+// Engine-level instruments (the Figure 8 / Table 2 quantities, live).
+var (
+	// QueriesTotal counts completed queries (successful or not).
+	QueriesTotal = Default.NewCounter("vs_queries_total",
+		"Total queries executed.", nil)
+	// QueriesFailed counts queries that returned an error.
+	QueriesFailed = Default.NewCounter("vs_queries_failed_total",
+		"Queries that failed with an error.", nil)
+	// QueriesInFlight gauges currently executing queries.
+	QueriesInFlight = Default.NewGauge("vs_queries_in_flight",
+		"Queries currently executing.", nil)
+	// ExpandMatrixBytes accumulates peak reachability-matrix bytes per
+	// VExpand call (Table 2's memory column, as a running total).
+	ExpandMatrixBytes = Default.NewCounter("vs_expand_matrix_bytes_total",
+		"Cumulative peak bit-matrix bytes allocated by VExpand calls.", nil)
+	// SpillWriteBytes / SpillWriteFiles / SpillReadBytes account the
+	// out-of-core path (§5.3).
+	SpillWriteBytes = Default.NewCounter("vs_spill_write_bytes_total",
+		"Bytes written to spill files.", nil)
+	SpillWriteFiles = Default.NewCounter("vs_spill_write_files_total",
+		"Spill files created.", nil)
+	SpillReadBytes = Default.NewCounter("vs_spill_read_bytes_total",
+		"Bytes read back from spill files.", nil)
+)
+
+// Per-stage latency histograms: one family, labeled by stage, matching the
+// engine.Timings breakdown (Figure 8's components).
+var (
+	StageScan        = newStage("scan")
+	StageExpand      = newStage("expand")
+	StageUpdateVisit = newStage("update_visit")
+	StageIntersect   = newStage("intersect")
+	StageAggregate   = newStage("aggregate")
+	StageTotal       = newStage("total")
+)
+
+func newStage(stage string) *Histogram {
+	return Default.NewHistogram("vs_query_stage_seconds",
+		"Per-stage query latency by stage (scan, expand, update_visit, intersect, aggregate, total).",
+		Labels{"stage": stage}, nil)
+}
+
+// ObserveStages records one query's stage breakdown into the per-stage
+// histograms. Zero-duration stages still observe (they are real samples of
+// a stage that did no work).
+func ObserveStages(scan, expand, updateVisit, intersect, aggregate, total time.Duration) {
+	StageScan.Observe(scan.Seconds())
+	StageExpand.Observe(expand.Seconds())
+	StageUpdateVisit.Observe(updateVisit.Seconds())
+	StageIntersect.Observe(intersect.Seconds())
+	StageAggregate.Observe(aggregate.Seconds())
+	StageTotal.Observe(total.Seconds())
+}

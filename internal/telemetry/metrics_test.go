@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the full Prometheus text rendering of a
+// registry with one instrument of each kind, including a two-instrument
+// histogram family sharing HELP/TYPE.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("vs_test_queries_total", "Total test queries.", nil)
+	g := r.NewGauge("vs_test_in_flight", "In-flight test queries.", nil)
+	h1 := r.NewHistogram("vs_test_stage_seconds", "Stage latency.",
+		Labels{"stage": "expand"}, []float64{0.01, 0.1})
+	h2 := r.NewHistogram("vs_test_stage_seconds", "Stage latency.",
+		Labels{"stage": "scan"}, []float64{0.01, 0.1})
+
+	c.Inc()
+	c.Add(4)
+	g.Set(2)
+	g.Add(-1)
+	h1.Observe(0.005)
+	h1.Observe(0.05)
+	h1.Observe(5)
+	h2.Observe(0.02)
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP vs_test_in_flight In-flight test queries.
+# TYPE vs_test_in_flight gauge
+vs_test_in_flight 1
+# HELP vs_test_queries_total Total test queries.
+# TYPE vs_test_queries_total counter
+vs_test_queries_total 5
+# HELP vs_test_stage_seconds Stage latency.
+# TYPE vs_test_stage_seconds histogram
+vs_test_stage_seconds_bucket{stage="expand",le="0.01"} 1
+vs_test_stage_seconds_bucket{stage="expand",le="0.1"} 2
+vs_test_stage_seconds_bucket{stage="expand",le="+Inf"} 3
+vs_test_stage_seconds_sum{stage="expand"} 5.055
+vs_test_stage_seconds_count{stage="expand"} 3
+vs_test_stage_seconds_bucket{stage="scan",le="0.01"} 0
+vs_test_stage_seconds_bucket{stage="scan",le="0.1"} 1
+vs_test_stage_seconds_bucket{stage="scan",le="+Inf"} 1
+vs_test_stage_seconds_sum{stage="scan"} 0.02
+vs_test_stage_seconds_count{stage="scan"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExpositionFormat sanity-checks the default registry's output shape:
+// every sample line is `name{labels} value` or `name value`, every family
+// has HELP and TYPE, and the engine instruments are present.
+func TestExpositionFormat(t *testing.T) {
+	var b strings.Builder
+	if _, err := Default.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE vs_queries_total counter",
+		"# TYPE vs_queries_in_flight gauge",
+		"# TYPE vs_query_stage_seconds histogram",
+		`vs_query_stage_seconds_bucket{stage="expand",le="+Inf"}`,
+		"vs_expand_matrix_bytes_total",
+		"vs_spill_write_bytes_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "h", nil, []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Errorf("sum = %v, want 106", h.Sum())
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`h_bucket{le="1"} 2`,
+		`h_bucket{le="2"} 3`,
+		`h_bucket{le="4"} 4`,
+		`h_bucket{le="+Inf"} 5`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestMixedKindPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("m", "m", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("registering m as gauge after counter should panic")
+		}
+	}()
+	r.NewGauge("m", "m", nil)
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentMetricUpdates hammers every instrument kind from parallel
+// goroutines — the situation of concurrent queries on the server — and
+// checks the totals. Run under -race by the CI gate.
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "c", nil)
+	g := r.NewGauge("g", "g", nil)
+	h := r.NewHistogram("h", "h", nil, []float64{0.5})
+
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(0.25)
+				if i%64 == 0 {
+					// Exposition concurrent with updates must be safe.
+					var b strings.Builder
+					_, _ = r.WriteTo(&b)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Sum(); got != 0.25*workers*perWorker {
+		t.Errorf("histogram sum = %v, want %v", got, 0.25*workers*perWorker)
+	}
+}
+
+// TestConcurrentSpanChildren creates children of one parent from parallel
+// goroutines (e.g. parallel UNWIND iterations sharing a root).
+func TestConcurrentSpanChildren(t *testing.T) {
+	ctx, root := NewTrace(context.Background(), "query")
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				cctx, sp := StartSpan(ctx, "op")
+				_, inner := StartSpan(cctx, "inner")
+				inner.SetInt("i", int64(i))
+				inner.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Snapshot().Children); got != workers*200 {
+		t.Errorf("children = %d, want %d", got, workers*200)
+	}
+}

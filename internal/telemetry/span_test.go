@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	ctx, root := NewTrace(context.Background(), "query")
+	ctx1, plan := StartSpan(ctx, "plan")
+	if CurrentSpan(ctx1) != plan {
+		t.Fatal("StartSpan did not install the child as current")
+	}
+	plan.SetInt("edges", 3)
+	plan.End()
+	_, expand := StartSpan(ctx, "expand")
+	expand.SetStr("kernel", "prefetch")
+	expand.SetInt("sources", 128)
+	expand.End()
+	root.End()
+
+	sn := root.Snapshot()
+	if sn.Name != "query" || len(sn.Children) != 2 {
+		t.Fatalf("snapshot = %+v", sn)
+	}
+	if sn.Children[0].Name != "plan" || sn.Children[0].Attrs["edges"] != int64(3) {
+		t.Errorf("plan child = %+v", sn.Children[0])
+	}
+	if sn.Children[1].Attrs["kernel"] != "prefetch" {
+		t.Errorf("expand child = %+v", sn.Children[1])
+	}
+
+	out := sn.Render()
+	for _, want := range []string{"query", "├─ plan edges=3", "└─ expand kernel=prefetch sources=128"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	// The snapshot must be JSON-marshalable (the HTTP profile payload).
+	raw, err := json.Marshal(sn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"name":"query"`) {
+		t.Errorf("json = %s", raw)
+	}
+}
+
+// TestChildDurationsSumWithinParent asserts the PROFILE invariant: child
+// spans are disjoint operator calls, so their durations sum to at most the
+// parent's total.
+func TestChildDurationsSumWithinParent(t *testing.T) {
+	ctx, root := NewTrace(context.Background(), "query")
+	for i := 0; i < 3; i++ {
+		_, sp := StartSpan(ctx, "op")
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	root.End()
+	sn := root.Snapshot()
+	var sum float64
+	for _, c := range sn.Children {
+		sum += c.DurationMs
+	}
+	if sum > sn.DurationMs {
+		t.Errorf("children sum %.3fms exceeds root %.3fms", sum, sn.DurationMs)
+	}
+}
+
+// TestDisabledSpanIsNoop: without a trace in the context every call is a
+// no-op on nil spans and never panics.
+func TestDisabledSpanIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "op")
+	if ctx2 != ctx || sp != nil {
+		t.Fatalf("disabled StartSpan = %v, %v", ctx2, sp)
+	}
+	sp.SetInt("k", 1)
+	sp.SetStr("k", "v")
+	sp.End()
+	if sp.Snapshot() != nil {
+		t.Error("nil span snapshot should be nil")
+	}
+	if CurrentSpan(ctx) != nil {
+		t.Error("CurrentSpan without trace should be nil")
+	}
+}
+
+// TestDisabledPathAllocationFree verifies the //vs:hotpath contract at
+// runtime: the disabled trace path and the metric record path do not
+// allocate.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		_, sp := StartSpan(ctx, "op")
+		sp.SetInt("k", 1)
+		sp.End()
+	}); n != 0 {
+		t.Errorf("disabled span path allocates %.1f/op", n)
+	}
+	r := NewRegistry()
+	c := r.NewCounter("c", "c", nil)
+	g := r.NewGauge("g", "g", nil)
+	h := r.NewHistogram("h", "h", nil, nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(0.01)
+	}); n != 0 {
+		t.Errorf("metric record path allocates %.1f/op", n)
+	}
+}
+
+func TestAttrOverflowDropped(t *testing.T) {
+	_, root := NewTrace(context.Background(), "query")
+	for i := 0; i < maxAttrs+4; i++ {
+		root.SetInt("k", int64(i))
+	}
+	root.End()
+	if got := len(root.Snapshot().Attrs); got > maxAttrs {
+		t.Errorf("attrs = %d, want ≤ %d", got, maxAttrs)
+	}
+}

@@ -14,6 +14,7 @@
 package vexpand
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/pattern"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // DefaultLookahead is the prefetch distance: while processing the x-th edge
@@ -166,6 +168,15 @@ func (r *Result) MinLength(row int, dst graph.VertexID) (int, bool) {
 
 // Expand runs the VExpand operator on g from the given sources under d.
 func Expand(g *graph.Graph, sources []graph.VertexID, d pattern.Determiner, opts Options) (*Result, error) {
+	return ExpandContext(context.Background(), g, sources, d, opts)
+}
+
+// ExpandContext is Expand with trace propagation: when ctx carries an
+// active trace (see internal/telemetry), the call annotates the current
+// span with the resolved kernel, source count, stack count, and the
+// expansion's Stats, and spill writes under it record child spans. Without
+// a trace the telemetry calls are no-ops.
+func ExpandContext(ctx context.Context, g *graph.Graph, sources []graph.VertexID, d pattern.Determiner, opts Options) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -185,6 +196,7 @@ func Expand(g *graph.Graph, sources []graph.VertexID, d pattern.Determiner, opts
 	}
 
 	e := &expansion{
+		ctx:     ctx,
 		g:       g,
 		sources: sources,
 		d:       d,
@@ -192,10 +204,33 @@ func Expand(g *graph.Graph, sources []graph.VertexID, d pattern.Determiner, opts
 		opts:    opts,
 		kernel:  kernel,
 	}
+	var res *Result
 	if kernel == BFS {
-		return e.runBFS()
+		res, err = e.runBFS()
+	} else {
+		res, err = e.runMatrix()
 	}
-	return e.runMatrix()
+	if err != nil {
+		return nil, err
+	}
+	annotateSpan(telemetry.CurrentSpan(ctx), res, d)
+	return res, nil
+}
+
+// annotateSpan records the expansion's vital signs on the enclosing trace
+// span (no-op on a nil span).
+func annotateSpan(sp *telemetry.Span, res *Result, d pattern.Determiner) {
+	if sp == nil {
+		return
+	}
+	sp.SetStr("kernel", res.Stats.Kernel.String())
+	sp.SetInt("sources", int64(len(res.Sources)))
+	sp.SetInt("kmin", int64(d.KMin))
+	sp.SetInt("kmax", int64(d.KMax))
+	sp.SetInt("stacks", int64(res.Reach.Stacks()))
+	sp.SetInt("steps", int64(res.Stats.Steps))
+	sp.SetInt("intermediate", res.Stats.IntermediateResults)
+	sp.SetInt("matrix_bytes", res.Stats.MatrixBytes)
 }
 
 // chooseKernel makes the planner's "fast online decision" (§5.2): it
@@ -242,6 +277,7 @@ func chooseKernel(g *graph.Graph, sources []graph.VertexID, d pattern.Determiner
 
 // expansion carries the state of one Expand call.
 type expansion struct {
+	ctx     context.Context
 	g       *graph.Graph
 	sources []graph.VertexID
 	d       pattern.Determiner
@@ -370,7 +406,7 @@ func (e *expansion) runMatrix() (*Result, error) {
 		}
 		if e.opts.KeepPerStep {
 			if e.opts.Spill != nil {
-				h, err := e.opts.Spill.Spill(0, next)
+				h, err := e.opts.Spill.SpillContext(e.ctx, 0, next)
 				if err != nil {
 					return nil, err
 				}

@@ -3,9 +3,10 @@
 # test battery; every PR must pass this script.
 #
 # Usage:
-#   scripts/verify.sh            # full gate (build, vet, gofmt, vslint, tests, -race, fuzz smoke)
+#   scripts/verify.sh            # full gate (build, vet, gofmt, vslint, tests, -race, fuzz, smoke)
 #   FUZZTIME=30s scripts/verify.sh   # longer fuzz smoke
 #   SKIP_FUZZ=1 scripts/verify.sh    # skip the fuzz smoke (e.g. constrained machines)
+#   SKIP_SMOKE=1 scripts/verify.sh   # skip the vsserve end-to-end smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +41,44 @@ if [ -z "${SKIP_FUZZ:-}" ]; then
     step "fuzz smoke (${FUZZTIME} each)"
     go test -run='^$' -fuzz=FuzzCypherParse -fuzztime="$FUZZTIME" ./internal/cypher
     go test -run='^$' -fuzz=FuzzHilbertRoundTrip -fuzztime="$FUZZTIME" ./internal/hilbert
+fi
+
+if [ -z "${SKIP_SMOKE:-}" ]; then
+    step "vsserve smoke (generate, serve, query, scrape /metrics)"
+    smokedir="$(mktemp -d)"
+    serverpid=""
+    cleanup() {
+        [ -n "$serverpid" ] && kill "$serverpid" 2>/dev/null || true
+        rm -rf "$smokedir"
+    }
+    trap cleanup EXIT
+
+    go run ./cmd/vsgen -dataset LastFM -scale 0.05 -out "$smokedir/graph" >/dev/null
+    go build -o "$smokedir/vsserve" ./cmd/vsserve
+    "$smokedir/vsserve" -data "$smokedir/graph" -addr 127.0.0.1:0 -access-log=false \
+        > "$smokedir/stdout" 2> "$smokedir/stderr" &
+    serverpid=$!
+
+    # vsserve prints "serving <dir> (...) on <addr>" once the listener is
+    # bound; scrape the real port from that line.
+    hostport=""
+    for _ in $(seq 1 50); do
+        hostport="$(sed -n 's/^serving .* on //p' "$smokedir/stdout")"
+        [ -n "$hostport" ] && break
+        kill -0 "$serverpid" 2>/dev/null || { cat "$smokedir/stderr" >&2; echo "vsserve exited early" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$hostport" ] || { echo "vsserve never announced its address" >&2; exit 1; }
+
+    curl -fsS "http://$hostport/healthz" | grep -q ok
+    curl -fsS "http://$hostport/query" \
+        -d '{"query":"MATCH (p:SIGA)-[:knows*1..2]-(q:SIGB) RETURN COUNT(DISTINCT p,q)","profile":true}' \
+        | grep -q '"profile"'
+    metrics="$(curl -fsS "http://$hostport/metrics")"
+    echo "$metrics" | grep -q '^vs_queries_total 1$' \
+        || { echo "vs_queries_total did not reach 1:" >&2; echo "$metrics" | grep vs_queries >&2; exit 1; }
+    echo "$metrics" | grep -q 'vs_query_stage_seconds_count{stage="total"} 1' \
+        || { echo "stage histogram missing:" >&2; echo "$metrics" | grep stage >&2; exit 1; }
 fi
 
 step "verify OK"

@@ -26,6 +26,7 @@
 package vertexsurge
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cypher"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/pattern"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/vexpand"
 )
 
@@ -60,6 +62,9 @@ type (
 	MatchResult = engine.MatchResult
 	// QueryResult is a Cypher query's output table.
 	QueryResult = cypher.Result
+	// QuerySpan is one node of the per-operator span tree returned by
+	// PROFILE queries (QueryResult.Profile).
+	QuerySpan = telemetry.SpanSnapshot
 	// Timings is the per-stage execution breakdown.
 	Timings = engine.Timings
 	// Reachability is a VExpand result: the reachability matrix between
@@ -160,13 +165,21 @@ func (db *DB) Save(dir string) error { return storage.Write(dir, db.g) }
 
 // Query parses and executes a query in the supported openCypher subset
 // (§2.2): MATCH with variable-length relationships, WHERE, shortestPath,
-// UNWIND, RETURN COUNT/SUM(DISTINCT …), ORDER BY, LIMIT.
+// UNWIND, RETURN COUNT/SUM(DISTINCT …), ORDER BY, LIMIT. Prefixing the
+// query with PROFILE additionally fills QueryResult.Profile with the
+// per-operator span tree.
 func (db *DB) Query(src string, params map[string]any) (*QueryResult, error) {
+	return db.QueryContext(context.Background(), src, params)
+}
+
+// QueryContext is Query with context propagation: a context carrying a
+// telemetry trace collects one span per operator call under it.
+func (db *DB) QueryContext(ctx context.Context, src string, params map[string]any) (*QueryResult, error) {
 	q, err := cypher.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return cypher.Run(db.eng, q, params)
+	return cypher.RunContext(ctx, db.eng, q, params)
 }
 
 // Match executes a typed variable-length graph pattern and returns the
