@@ -5,11 +5,16 @@
 //
 //	vsbench -exp all -scale 0.02
 //	vsbench -exp fig9 -scale 0.05 -kmax 3
+//	vsbench -exp fig9 -scale 0.02 -json out/
 //
 // Experiments: table1, fig2b, fig6, fig7, fig8, table2, fig9, all.
 // Scale 1.0 means the paper's dataset sizes (Twitter2010 at scale 1.0
 // needs a very large machine; the default regenerates every shape in
 // seconds).
+//
+// With -json DIR each experiment additionally writes a machine-readable
+// BENCH_<exp>_<scale>.json record (schema, host fingerprint, per-case
+// median/p95 ns) that scripts/benchdiff.go compares across runs.
 package main
 
 import (
@@ -32,12 +37,35 @@ func main() {
 		workers = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 		kmax    = flag.Int("kmax", 0, "override the experiment's k_max sweep upper bound")
 		social  = flag.String("social", "", "comma-separated social datasets for fig6 (default LastFM,Epinions,LDBC-SN-SF100)")
+		jsonDir = flag.String("json", "", "also write BENCH_<exp>_<scale>.json records into this directory")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{Scale: *scale, Budget: *budget, Workers: *workers}
 	w := os.Stdout
+	// The text output opens with the same host fingerprint the JSON
+	// records carry, so saved bench_results_*.txt files are
+	// self-describing.
+	host := bench.CollectHost()
 	fmt.Fprintf(w, "VertexSurge evaluation harness — scale %g, budget %d tuples\n", *scale, *budget)
+	fmt.Fprintf(w, "host: %s %s/%s GOMAXPROCS=%d cpus=%d git=%s\n",
+		host.GoVersion, host.GOOS, host.GOARCH, host.GOMAXPROCS, host.NumCPU, host.GitSHA)
+	if host.CPUModel != "" {
+		fmt.Fprintf(w, "cpu:  %s\n", host.CPUModel)
+	}
+
+	// emit writes the experiment's JSON record when -json is set.
+	emit := func(rec *bench.Record) error {
+		if *jsonDir == "" {
+			return nil
+		}
+		path, err := rec.Write(*jsonDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+		return nil
+	}
 
 	pick := func(def int) int {
 		if *kmax > 0 {
@@ -57,7 +85,7 @@ func main() {
 				return err
 			}
 			bench.PrintTable1(w, cfg, rows)
-			return nil
+			return emit(bench.RecordTable1(cfg, rows))
 		},
 		"fig2b": func() error {
 			rows, err := bench.Fig2b(cfg, pick(4))
@@ -65,7 +93,7 @@ func main() {
 				return err
 			}
 			bench.PrintFig2b(w, rows)
-			return nil
+			return emit(bench.RecordFig2b(cfg, rows))
 		},
 		"fig6": func() error {
 			cells, err := bench.Fig6(cfg, socialList)
@@ -73,7 +101,7 @@ func main() {
 				return err
 			}
 			bench.PrintFig6(w, cells)
-			return nil
+			return emit(bench.RecordFig6(cfg, cells))
 		},
 		"fig7": func() error {
 			rows, err := bench.Fig7(cfg, pick(6))
@@ -81,7 +109,7 @@ func main() {
 				return err
 			}
 			bench.PrintFig7(w, rows)
-			return nil
+			return emit(bench.RecordFig7(cfg, rows))
 		},
 		"fig8": func() error {
 			rows, err := bench.Fig8(cfg)
@@ -89,7 +117,7 @@ func main() {
 				return err
 			}
 			bench.PrintFig8(w, rows)
-			return nil
+			return emit(bench.RecordFig8(cfg, rows))
 		},
 		"table2": func() error {
 			rows, err := bench.Table2(cfg, pick(3))
@@ -97,7 +125,7 @@ func main() {
 				return err
 			}
 			bench.PrintTable2(w, rows)
-			return nil
+			return emit(bench.RecordTable2(cfg, rows))
 		},
 		"ablations": func() error {
 			rows, err := bench.Ablations(cfg)
@@ -105,7 +133,7 @@ func main() {
 				return err
 			}
 			bench.PrintAblations(w, rows)
-			return nil
+			return emit(bench.RecordAblations(cfg, rows))
 		},
 		"fig9": func() error {
 			rows, err := bench.Fig9(cfg, pick(3))
@@ -113,7 +141,7 @@ func main() {
 				return err
 			}
 			bench.PrintFig9(w, rows)
-			return nil
+			return emit(bench.RecordFig9(cfg, rows))
 		},
 	}
 

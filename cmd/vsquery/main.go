@@ -11,7 +11,10 @@
 //
 // Prefixing the query with PROFILE prints the per-operator span tree
 // (planner, each expand with kernel and memo state, the intersection join)
-// after the result.
+// after the result. -explain (or an EXPLAIN prefix) prints the plan
+// without executing; -analyze (or an EXPLAIN ANALYZE prefix) executes with
+// tracing forced on and prints the planner-estimate-vs-actual operator
+// table.
 //
 // Parameters given as -param name=value are typed by shape: integers become
 // int64, true/false become bool, comma-separated integers become an int64
@@ -79,6 +82,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 		timing      = flag.Bool("timing", false, "print the per-stage breakdown")
 		explain     = flag.Bool("explain", false, "print the query plan instead of executing")
+		analyze     = flag.Bool("analyze", false, "execute with tracing and print estimate-vs-actual per operator")
 		interactive = flag.Bool("i", false, "interactive shell (ignores -query/-file)")
 	)
 	flag.Var(params, "param", "query parameter name=value (repeatable)")
@@ -117,12 +121,28 @@ func main() {
 		fmt.Print(plan)
 		return
 	}
+	if *analyze {
+		a, err := db.ExplainAnalyze(src, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(a.Render())
+		return
+	}
 	start := time.Now()
 	res, err := db.Query(src, params)
 	if err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
+	if res.Plan != "" {
+		fmt.Print(res.Plan)
+		return
+	}
+	if res.Analysis != nil {
+		fmt.Print(res.Analysis.Render())
+		return
+	}
 
 	for i, col := range res.Columns {
 		if i > 0 {

@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout; bump on incompatible
+// changes so benchdiff can refuse cross-schema comparisons.
+const SchemaVersion = 1
+
+// HostInfo is the machine fingerprint stamped into every record: numbers
+// from two different hosts are not comparable, and the fingerprint makes
+// that visible instead of silent.
+type HostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// CPUModel is /proc/cpuinfo's "model name" (empty off Linux).
+	CPUModel string `json:"cpu_model,omitempty"`
+	// GitSHA is the commit the binary was built from: the build info's
+	// vcs.revision when stamped, otherwise `git rev-parse`, otherwise
+	// "unknown".
+	GitSHA string `json:"git_sha"`
+}
+
+// CaseResult is one measured case of an experiment.
+type CaseResult struct {
+	// Name is the stable case key benchdiff joins on, e.g.
+	// "fig9/prefetch" or "fig6/c1/LastFM/vertexsurge".
+	Name string `json:"name"`
+	// MedianNs and P95Ns summarize the case's wall time in nanoseconds.
+	// With a single measurement they are equal. -1 marks a case with no
+	// timing (size-only rows, timeouts, unsupported systems) — benchdiff
+	// skips those.
+	MedianNs int64 `json:"median_ns"`
+	P95Ns    int64 `json:"p95_ns"`
+	// Bytes is the case's memory footprint where the experiment measures
+	// one (Table 1 sizes, Table 2 matrix bytes).
+	Bytes int64 `json:"bytes,omitempty"`
+	// Count is the case's result cardinality where measured.
+	Count int64 `json:"count,omitempty"`
+	// Tier1 marks the cases the CI regression gate compares: VertexSurge's
+	// own kernels and end-to-end cases, not the intentionally-slow
+	// baselines (timeout-prone, high variance).
+	Tier1 bool `json:"tier1"`
+}
+
+// Record is one experiment run: the BENCH_<exp>_<scale>.json payload.
+type Record struct {
+	Schema     int          `json:"schema"`
+	Experiment string       `json:"experiment"`
+	Scale      float64      `json:"scale"`
+	Timestamp  string       `json:"timestamp"`
+	Host       HostInfo     `json:"host"`
+	Cases      []CaseResult `json:"cases"`
+}
+
+// CollectHost gathers the machine fingerprint.
+func CollectHost() HostInfo {
+	h := HostInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+		GitSHA:     gitSHA(),
+	}
+	return h
+}
+
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
+func gitSHA() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				if len(s.Value) > 12 {
+					return s.Value[:12]
+				}
+				return s.Value
+			}
+		}
+	}
+	// `go run` and `go test` binaries carry no VCS stamp; ask git directly.
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// NewRecord stamps an empty record for one experiment run.
+func NewRecord(cfg Config, experiment string) *Record {
+	return &Record{
+		Schema:     SchemaVersion,
+		Experiment: experiment,
+		Scale:      cfg.scale(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Host:       CollectHost(),
+	}
+}
+
+// Add appends a timed case. Timeout and notRun durations record as
+// MedianNs = -1 (excluded from diffs) so the case list stays complete.
+func (r *Record) Add(name string, d time.Duration, tier1 bool) *CaseResult {
+	ns := int64(-1)
+	if d > 0 {
+		ns = d.Nanoseconds()
+	}
+	r.Cases = append(r.Cases, CaseResult{Name: name, MedianNs: ns, P95Ns: ns, Tier1: tier1})
+	return &r.Cases[len(r.Cases)-1]
+}
+
+// Filename is the record's canonical file name, BENCH_<exp>_<scale>.json.
+func (r *Record) Filename() string {
+	return fmt.Sprintf("BENCH_%s_%g.json", r.Experiment, r.Scale)
+}
+
+// Write serializes the record into dir (created if missing) under its
+// canonical name and returns the full path.
+func (r *Record) Write(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, r.Filename())
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Per-experiment converters: each maps the experiment's row type onto the
+// flat case list. VertexSurge's own measurements are tier-1; baseline
+// columns (join, gpm) ride along untiered for trajectory plots.
+
+// RecordFig9 records the kernel-ladder times, all tier-1.
+func RecordFig9(cfg Config, rows []Fig9Row) *Record {
+	r := NewRecord(cfg, "fig9")
+	for _, row := range rows {
+		r.Add("fig9/"+row.Kernel.String(), row.Time, true)
+	}
+	return r
+}
+
+// RecordFig2b records the community-triangle sweep; the VertexSurge
+// column is tier-1.
+func RecordFig2b(cfg Config, rows []Fig2bRow) *Record {
+	r := NewRecord(cfg, "fig2b")
+	for _, row := range rows {
+		c := r.Add(fmt.Sprintf("fig2b/k%d/vertexsurge", row.KMax), row.VertexSurge, true)
+		c.Count = row.Count
+		r.Add(fmt.Sprintf("fig2b/k%d/join", row.KMax), row.Join, false)
+		r.Add(fmt.Sprintf("fig2b/k%d/gpm", row.KMax), row.GPM, false)
+	}
+	return r
+}
+
+// RecordFig6 records the twelve-case grid; VertexSurge cells are tier-1.
+func RecordFig6(cfg Config, cells []Fig6Cell) *Record {
+	r := NewRecord(cfg, "fig6")
+	for _, c := range cells {
+		base := fmt.Sprintf("fig6/c%d/%s", c.Case, c.Dataset)
+		r.Add(base+"/vertexsurge", c.VertexSurge, true)
+		r.Add(base+"/join", c.Join, false)
+		r.Add(base+"/gpm", c.GPM, false)
+	}
+	return r
+}
+
+// RecordFig7 records the k_max sweeps, all tier-1.
+func RecordFig7(cfg Config, rows []Fig7Row) *Record {
+	r := NewRecord(cfg, "fig7")
+	for _, row := range rows {
+		for i, d := range row.Times {
+			r.Add(fmt.Sprintf("fig7/c%d/%s/k%d", row.Case, row.Dataset, i+1), d, true)
+		}
+	}
+	return r
+}
+
+// RecordFig8 records per-case totals (tier-1) plus the per-stage split.
+func RecordFig8(cfg Config, rows []Fig8Row) *Record {
+	r := NewRecord(cfg, "fig8")
+	for _, row := range rows {
+		base := fmt.Sprintf("fig8/c%d/%s", row.Case, row.Dataset)
+		tm := row.Timings
+		r.Add(base+"/total", tm.Total, true)
+		r.Add(base+"/scan", tm.Scan, false)
+		r.Add(base+"/expand", tm.Expand, false)
+		r.Add(base+"/update_visit", tm.UpdateVisit, false)
+		r.Add(base+"/intersect", tm.Intersect, false)
+		r.Add(base+"/aggregate", tm.Aggregate, false)
+	}
+	return r
+}
+
+// RecordTable1 records dataset sizes (no timings).
+func RecordTable1(cfg Config, rows []Table1Row) *Record {
+	r := NewRecord(cfg, "table1")
+	for _, row := range rows {
+		c := r.Add("table1/"+row.Name, -1, false)
+		c.Bytes = row.SizeBytes
+		c.Count = int64(row.GenE)
+	}
+	return r
+}
+
+// RecordTable2 records intermediate-result sizes (no timings).
+func RecordTable2(cfg Config, rows []Table2Row) *Record {
+	r := NewRecord(cfg, "table2")
+	for _, row := range rows {
+		c := r.Add(fmt.Sprintf("table2/k%d/expand", row.KMax), -1, false)
+		c.Bytes = row.MatrixBytes
+		c.Count = row.Expand
+		j := r.Add(fmt.Sprintf("table2/k%d/join", row.KMax), -1, false)
+		j.Bytes = row.FlatBytes
+		j.Count = int64(row.Join)
+	}
+	return r
+}
+
+// RecordAblations records the design-decision ablations (variance-prone,
+// untiered).
+func RecordAblations(cfg Config, rows []AblationRow) *Record {
+	r := NewRecord(cfg, "ablations")
+	for _, row := range rows {
+		r.Add(fmt.Sprintf("ablations/%s/%s", row.Group, row.Variant), row.Time, false)
+	}
+	return r
+}

@@ -11,6 +11,13 @@ type Query struct {
 	// Profile marks a `PROFILE <query>`: execute and attach the
 	// per-operator span tree to the result.
 	Profile bool
+	// Explain marks an `EXPLAIN <query>`: render the plan without
+	// executing (Result.Plan).
+	Explain bool
+	// Analyze marks `EXPLAIN ANALYZE <query>`: execute with tracing
+	// forced on and attach the estimate-vs-actual operator table
+	// (Result.Analysis). Only valid with Explain.
+	Analyze bool
 	// Unwind, when present, iterates a list parameter binding Alias per
 	// iteration (Case 5's UNWIND $person_ids AS pid).
 	Unwind *Unwind

@@ -19,6 +19,12 @@ type Result struct {
 	// `PROFILE <query>` (or the caller attached its own trace and asked
 	// for it); nil otherwise.
 	Profile *telemetry.SpanSnapshot
+	// Plan is the rendered plan of an `EXPLAIN <query>` (no execution;
+	// Columns/Rows are empty).
+	Plan string
+	// Analysis is the estimate-vs-actual operator table of an
+	// `EXPLAIN ANALYZE <query>`.
+	Analysis *engine.Analysis
 }
 
 // Run executes a parsed query against eng with the given parameters.
@@ -35,9 +41,28 @@ func Run(eng *engine.Engine, q *Query, params map[string]any) (*Result, error) {
 // slow-query path), its spans accumulate there instead and Profile is left
 // for the caller to fill.
 func RunContext(ctx context.Context, eng *engine.Engine, q *Query, params map[string]any) (*Result, error) {
+	// Plain EXPLAIN renders the plan without executing — no metrics, the
+	// query never runs.
+	if q.Explain && !q.Analyze {
+		plan, err := ExplainQuery(eng, q, params)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Plan: plan}, nil
+	}
+
 	telemetry.QueriesInFlight.Add(1)
 	defer telemetry.QueriesInFlight.Add(-1)
 	defer telemetry.QueriesTotal.Inc()
+
+	if q.Explain && q.Analyze {
+		a, err := AnalyzeQuery(ctx, eng, q, params)
+		if err != nil {
+			telemetry.QueriesFailed.Inc()
+			return nil, err
+		}
+		return &Result{Analysis: a}, nil
+	}
 
 	var root *telemetry.Span
 	if q.Profile && telemetry.CurrentSpan(ctx) == nil {
@@ -400,4 +425,29 @@ func ExplainQuery(eng *engine.Engine, q *Query, params map[string]any) (string, 
 		return "shortestPath query: frontier BFS with early exit (no join plan)\n", nil
 	}
 	return eng.Explain(b.pat)
+}
+
+// AnalyzeQuery executes the query's pattern with tracing forced on and
+// returns the planner-estimate-vs-actual operator table. UNWIND and
+// shortestPath queries are rejected: the former runs the pattern many
+// times (no single plan to analyze), the latter has no join plan.
+func AnalyzeQuery(ctx context.Context, eng *engine.Engine, q *Query, params map[string]any) (*engine.Analysis, error) {
+	if q.Unwind != nil {
+		return nil, fmt.Errorf("cypher: EXPLAIN ANALYZE does not support UNWIND")
+	}
+	b, err := bind(q, params)
+	if err != nil {
+		return nil, err
+	}
+	if b.shortest != nil {
+		return nil, fmt.Errorf("cypher: EXPLAIN ANALYZE does not support shortestPath")
+	}
+	// Mirror runOnce's COUNT(DISTINCT …) fast path so the analyzed
+	// execution is the one a plain run would take.
+	opts := engine.MatchOptions{}
+	if len(q.Return) == 1 && q.Return[0].Agg == "count" && q.Return[0].Distinct &&
+		allPlainVars(q.Return[0].Args) && len(q.Return[0].Args) == len(b.pat.Vertices) {
+		opts.CountOnly = true
+	}
+	return eng.ExplainAnalyze(ctx, b.pat, opts)
 }

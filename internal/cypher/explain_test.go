@@ -1,0 +1,96 @@
+package cypher
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+const triangleSrc = `MATCH (p:SIGA)-[:knows*1..2]-(q:SIGB) RETURN COUNT(DISTINCT p,q)`
+
+func TestParseExplainFlags(t *testing.T) {
+	q, err := Parse("EXPLAIN " + triangleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Explain || q.Analyze {
+		t.Fatalf("EXPLAIN parsed as Explain=%v Analyze=%v", q.Explain, q.Analyze)
+	}
+
+	q, err = Parse("EXPLAIN ANALYZE " + triangleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Explain || !q.Analyze {
+		t.Fatalf("EXPLAIN ANALYZE parsed as Explain=%v Analyze=%v", q.Explain, q.Analyze)
+	}
+
+	q, err = Parse(triangleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Explain || q.Analyze {
+		t.Fatalf("plain query parsed as Explain=%v Analyze=%v", q.Explain, q.Analyze)
+	}
+
+	if _, err := Parse("EXPLAIN PROFILE " + triangleSrc); err == nil {
+		t.Fatal("EXPLAIN PROFILE accepted")
+	}
+}
+
+func TestRunExplainReturnsPlanWithoutExecuting(t *testing.T) {
+	e := socialEngine(t)
+	res := run(t, e, "EXPLAIN "+triangleSrc, nil)
+	if res.Plan == "" {
+		t.Fatal("EXPLAIN returned no plan")
+	}
+	if len(res.Rows) != 0 || len(res.Columns) != 0 {
+		t.Fatalf("EXPLAIN executed the query: %d rows, %d columns", len(res.Rows), len(res.Columns))
+	}
+	if res.Analysis != nil {
+		t.Fatal("plain EXPLAIN attached an analysis")
+	}
+}
+
+func TestRunExplainAnalyze(t *testing.T) {
+	e := socialEngine(t)
+	res := run(t, e, "EXPLAIN ANALYZE "+triangleSrc, nil)
+	a := res.Analysis
+	if a == nil {
+		t.Fatal("EXPLAIN ANALYZE returned no analysis")
+	}
+	if a.Count <= 0 {
+		t.Fatalf("analysis count = %d, want > 0", a.Count)
+	}
+	kinds := map[string]int{}
+	for _, op := range a.Ops {
+		kinds[op.Op]++
+	}
+	if kinds["scan"] != 2 || kinds["expand"] != 1 {
+		t.Fatalf("operator kinds = %v, want 2 scans and 1 expand", kinds)
+	}
+	if out := a.Render(); !strings.Contains(out, "est/act") || !strings.Contains(out, "expand") {
+		t.Fatalf("render lacks est/act table:\n%s", out)
+	}
+}
+
+func TestAnalyzeQueryRejections(t *testing.T) {
+	e := socialEngine(t)
+	cases := []struct {
+		src    string
+		params map[string]any
+	}{
+		{`EXPLAIN ANALYZE UNWIND $ids AS x MATCH (p {id:x})-[:knows]-(q) RETURN x, COUNT(DISTINCT q)`,
+			map[string]any{"ids": []int64{1000, 1001}}},
+		{`EXPLAIN ANALYZE MATCH (a:Person{id:1000}), (b:Person{id:1005}), p=shortestPath((a)-[:knows*1..]-(b)) RETURN length(p)`, nil},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("parse %s: %v", c.src, err)
+		}
+		if _, err := RunContext(context.Background(), e, q, c.params); err == nil {
+			t.Errorf("EXPLAIN ANALYZE accepted: %s", c.src)
+		}
+	}
+}

@@ -51,7 +51,7 @@ var keywords = map[string]bool{
 	"AVG": true, "DISTINCT": true, "AS": true,
 	"NOT": true, "AND": true, "UNWIND": true, "ASC": true, "DESC": true,
 	"TRUE": true, "FALSE": true, "SHORTESTPATH": true, "LENGTH": true,
-	"WITH": true, "PROFILE": true,
+	"WITH": true, "PROFILE": true, "EXPLAIN": true, "ANALYZE": true,
 }
 
 type token struct {

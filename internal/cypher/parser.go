@@ -74,9 +74,19 @@ func (p *parser) expectKeyword(kw string) error {
 
 func (p *parser) parseQuery() (*Query, error) {
 	q := &Query{}
+	// EXPLAIN <query> renders the plan without executing; EXPLAIN
+	// ANALYZE <query> executes with tracing forced on and returns the
+	// estimate-vs-actual operator table.
+	if p.acceptKeyword("EXPLAIN") {
+		q.Explain = true
+		q.Analyze = p.acceptKeyword("ANALYZE")
+	}
 	// PROFILE <query>: execute normally but collect and return the
 	// per-operator span tree (Result.Profile).
 	if p.acceptKeyword("PROFILE") {
+		if q.Explain {
+			return nil, fmt.Errorf("cypher: EXPLAIN and PROFILE cannot be combined")
+		}
 		q.Profile = true
 	}
 	// UNWIND $param AS alias

@@ -106,6 +106,10 @@ type MatchResult struct {
 	ExpandStats vexpand.Stats
 	// Timings is the per-stage breakdown.
 	Timings Timings
+	// Plan is the physical plan the match executed (candidate scans, join
+	// order, per-edge estimates). EXPLAIN ANALYZE joins its estimates
+	// against the actual cardinalities recorded in the span tree.
+	Plan *planner.Plan
 }
 
 // Match executes a VLGPM pattern and returns the distinct matched vertex
@@ -145,6 +149,7 @@ func (e *Engine) MatchContext(ctx context.Context, pat *pattern.Pattern, opts Ma
 	psp.SetInt("vertices", int64(len(pat.Vertices)))
 	psp.SetInt("edges", int64(len(plan.Edges)))
 	psp.End()
+	res.Plan = plan
 	res.Timings.Scan = time.Since(t0)
 
 	n := len(pat.Vertices)
@@ -233,6 +238,7 @@ func (e *Engine) buildJoinInput(ctx context.Context, plan *planner.Plan, res *Ma
 			pe.ExpandFrom, pe.D.KMin, pe.D.KMax, pe.D.Dir, pe.D.Type, pe.D.EdgeLabels, pe.D.EdgePropEq)
 		ectx, esp := telemetry.StartSpan(ctx, "expand")
 		esp.SetInt("from", int64(pe.ExpandFrom))
+		esp.SetInt("edge", int64(pe.PatternEdge))
 		r, ok := memo[memoKey]
 		if !ok {
 			esp.SetStr("memo", "miss")
@@ -264,6 +270,10 @@ func (e *Engine) buildJoinInput(ctx context.Context, plan *planner.Plan, res *Ma
 			esp.SetInt("sources", int64(len(sources)))
 			esp.SetInt("kmin", int64(pe.D.KMin))
 			esp.SetInt("kmax", int64(pe.D.KMax))
+			if esp != nil {
+				// Guarded so the popcount scan never runs untraced.
+				esp.SetInt("pairs", int64(r.PairCount()))
+			}
 		}
 		esp.End()
 		k := key{pe.EarlierPos, pe.LaterPos}

@@ -1,0 +1,126 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/vexpand"
+)
+
+// actualPairs counts |{(u,v) : u ∈ cand(Src), v ∈ cand(Dst), D(u,v)}| by
+// running the real VExpand from the source candidates and intersecting
+// each row with the destination candidates — the ground truth
+// estimatePairs approximates.
+func actualPairs(t *testing.T, g *graph.Graph, e pattern.Edge, srcCands, dstCands []graph.VertexID) int64 {
+	t.Helper()
+	res, err := vexpand.Expand(g, srcCands, e.D, vexpand.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inDst := make(map[int]bool, len(dstCands))
+	for _, v := range dstCands {
+		inDst[int(v)] = true
+	}
+	var pairs int64
+	for i := range res.Sources {
+		for _, j := range res.Reach.RowBits(i) {
+			if inDst[j] {
+				pairs++
+			}
+		}
+	}
+	return pairs
+}
+
+// estimateErrorBound is the fixed factor the estimate must stay within on
+// the deterministic social graph (500 vertices, 2000 edges, seed 42).
+// Measured est/actual across the cases below sits in [0.60, 1.45]; the
+// bound leaves headroom without being vacuous — an estimator off by the
+// Cartesian product would fail it by orders of magnitude.
+const estimateErrorBound = 8.0
+
+func TestEstimatePairsWithinFixedFactor(t *testing.T) {
+	g := socialGraph(t)
+	mk := func(kmax int, dir graph.Direction) pattern.Edge {
+		return pattern.Edge{Src: "s", Dst: "d", D: pattern.Determiner{
+			KMin: 1, KMax: kmax, Dir: dir, Type: pattern.Any, EdgeLabels: []string{"knows"},
+		}}
+	}
+	cases := []struct {
+		name               string
+		srcLabel, dstLabel string
+		kmax               int
+		dir                graph.Direction
+	}{
+		{"siga-sigb-k1", "SIGA", "SIGB", 1, graph.Both},
+		{"siga-sigb-k2", "SIGA", "SIGB", 2, graph.Both},
+		{"siga-sigb-k3", "SIGA", "SIGB", 3, graph.Both},
+		{"person-person-k1", "Person", "Person", 1, graph.Both},
+		{"person-person-k2", "Person", "Person", 2, graph.Both},
+		{"siga-person-k2", "SIGA", "Person", 2, graph.Both},
+		{"siga-sigb-k2-fwd", "SIGA", "SIGB", 2, graph.Forward},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pat := &pattern.Pattern{
+				Vertices: []pattern.Vertex{
+					{Name: "s", Labels: []string{tc.srcLabel}},
+					{Name: "d", Labels: []string{tc.dstLabel}},
+				},
+				Edges: []pattern.Edge{mk(tc.kmax, tc.dir)},
+			}
+			plan, err := Build(g, pat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := plan.Edges[0].EstPairs
+			actual := actualPairs(t, g, pat.Edges[0], plan.CandList[0], plan.CandList[1])
+			if actual == 0 {
+				t.Fatalf("no actual pairs — the case exercises nothing")
+			}
+			ratio := est / float64(actual)
+			t.Logf("est %.0f, actual %d, est/actual %.2f", est, actual, ratio)
+			if ratio > estimateErrorBound || ratio < 1/estimateErrorBound {
+				t.Errorf("est %.0f vs actual %d: ratio %.2f outside [1/%g, %g]",
+					est, actual, ratio, estimateErrorBound, estimateErrorBound)
+			}
+		})
+	}
+}
+
+// The estimate must be monotone in kmax on the same edge: a longer allowed
+// walk can only reach more pairs, and the planner's ordering depends on
+// that trend more than on absolute accuracy.
+func TestEstimatePairsMonotoneInKMax(t *testing.T) {
+	g := socialGraph(t)
+	sizes := []float64{0, 0}
+	pat := &pattern.Pattern{
+		Vertices: []pattern.Vertex{
+			{Name: "s", Labels: []string{"SIGA"}},
+			{Name: "d", Labels: []string{"SIGB"}},
+		},
+	}
+	for i, v := range pat.Vertices {
+		bm, err := pattern.Candidates(g, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[i] = float64(bm.PopCount())
+	}
+	prev := 0.0
+	for kmax := 1; kmax <= 5; kmax++ {
+		e := pattern.Edge{Src: "s", Dst: "d", D: pattern.Determiner{
+			KMin: 1, KMax: kmax, Dir: graph.Both, Type: pattern.Any, EdgeLabels: []string{"knows"},
+		}}
+		est := estimatePairs(g, pat, e, sizes)
+		if est < prev {
+			t.Fatalf("estimate dropped from %.0f to %.0f at kmax=%d", prev, est, kmax)
+		}
+		prev = est
+	}
+	// And it must respect the Cartesian cap.
+	if cart := sizes[0] * sizes[1]; prev > cart {
+		t.Fatalf("estimate %.0f exceeds the Cartesian bound %.0f", prev, cart)
+	}
+}

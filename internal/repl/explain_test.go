@@ -1,0 +1,28 @@
+package repl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainStatement(t *testing.T) {
+	out := session(t, "EXPLAIN MATCH (p:SIGA)-[:knows*1..2]-(q:SIGB) RETURN COUNT(DISTINCT p,q);\n")
+	if strings.Contains(out, "error:") {
+		t.Fatalf("EXPLAIN failed:\n%s", out)
+	}
+	if strings.Contains(out, "est/act") {
+		t.Fatalf("plain EXPLAIN rendered the analyze table:\n%s", out)
+	}
+}
+
+func TestExplainAnalyzeStatement(t *testing.T) {
+	out := session(t, "EXPLAIN ANALYZE MATCH (p:SIGA)-[:knows*1..2]-(q:SIGB) RETURN COUNT(DISTINCT p,q);\n")
+	if strings.Contains(out, "error:") {
+		t.Fatalf("EXPLAIN ANALYZE failed:\n%s", out)
+	}
+	for _, want := range []string{"est/act", "expand", "row(s), total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in analyze output:\n%s", want, out)
+		}
+	}
+}

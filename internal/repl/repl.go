@@ -11,7 +11,9 @@
 //
 // Prefixing a query with PROFILE executes it and prints the per-operator
 // span tree (planner, each expand with its kernel and memo state, the
-// intersection join) under the result table.
+// intersection join) under the result table. EXPLAIN prints the plan
+// without executing; EXPLAIN ANALYZE executes with tracing forced on and
+// prints the planner-estimate-vs-actual operator table.
 package repl
 
 import (
@@ -94,6 +96,9 @@ func (r *REPL) command(line string) bool {
 		fmt.Fprintln(r.out, `commands:
   <query>;           execute a query (may span lines)
   PROFILE <query>;   execute and print the operator span tree
+  EXPLAIN <query>;   show the plan without executing
+  EXPLAIN ANALYZE <query>;
+                     execute and print estimate-vs-actual per operator
   \explain <query>   show the plan
   \stats             graph statistics
   \timing on|off     per-stage breakdown after each query
@@ -149,6 +154,14 @@ func (r *REPL) execute(src string) {
 		return
 	}
 	elapsed := time.Since(start)
+	if res.Plan != "" {
+		fmt.Fprint(r.out, res.Plan)
+		return
+	}
+	if res.Analysis != nil {
+		fmt.Fprint(r.out, res.Analysis.Render())
+		return
+	}
 	printTable(r.out, res)
 	fmt.Fprintf(r.out, "(%d row(s) in %s)\n", len(res.Rows), elapsed.Round(time.Microsecond))
 	if res.Profile != nil {

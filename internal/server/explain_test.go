@@ -1,0 +1,97 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+const analyzeQuery = `MATCH (p:SIGA)-[:knows*1..2]-(q:SIGB) RETURN COUNT(DISTINCT p,q)`
+
+func TestExplainEndpointPlanOnly(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, body := post(t, srv, "/explain", QueryRequest{Query: analyzeQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var er ExplainResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Plan == "" {
+		t.Fatal("no plan in response")
+	}
+	if er.Analysis != nil {
+		t.Fatal("plain /explain attached an analysis")
+	}
+}
+
+func TestExplainEndpointAnalyze(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, body := post(t, srv, "/explain", QueryRequest{Query: analyzeQuery, Analyze: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var er ExplainResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Analysis == nil {
+		t.Fatalf("no analysis in response: %s", body)
+	}
+	if len(er.Analysis.Ops) == 0 {
+		t.Fatal("analysis has no operator rows")
+	}
+
+	// The wire contract: each operator is a JSON object with named fields,
+	// not a pre-rendered string.
+	var raw map[string]any
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	analysis, ok := raw["analysis"].(map[string]any)
+	if !ok {
+		t.Fatalf("analysis not an object: %s", body)
+	}
+	ops, ok := analysis["operators"].([]any)
+	if !ok || len(ops) == 0 {
+		t.Fatalf("operators not a non-empty array: %s", body)
+	}
+	first, ok := ops[0].(map[string]any)
+	if !ok {
+		t.Fatalf("operator rows are not objects: %s", body)
+	}
+	if _, ok := first["op"]; !ok {
+		t.Fatalf("operator row lacks op field: %v", first)
+	}
+}
+
+func TestQueryEndpointExplainAnalyzePrefix(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, body := post(t, srv, "/query", QueryRequest{Query: "EXPLAIN ANALYZE " + analyzeQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Analysis == nil {
+		t.Fatalf("EXPLAIN ANALYZE via /query returned no analysis: %s", body)
+	}
+	if len(qr.Rows) != 0 {
+		t.Fatalf("EXPLAIN ANALYZE returned result rows: %v", qr.Rows)
+	}
+
+	resp, body = post(t, srv, "/query", QueryRequest{Query: "EXPLAIN " + analyzeQuery})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	qr = QueryResponse{}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Plan == "" {
+		t.Fatalf("EXPLAIN via /query returned no plan: %s", body)
+	}
+}

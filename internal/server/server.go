@@ -7,6 +7,7 @@
 //
 //	POST /query    {"query": "...", "params": {...}, "profile": bool}  → {"columns": [...], "rows": [...], "timings": {...}, "profile": {...}}
 //	POST /explain  {"query": "...", "params": {...}}  → {"plan": "..."}
+//	POST /explain  {"query": "...", "analyze": true}  → {"plan": "...", "analysis": {"operators": [...], ...}}
 //	GET  /stats                                       → graph statistics
 //	GET  /metrics                                     → Prometheus text exposition
 //	GET  /healthz                                     → 200 ok
@@ -130,6 +131,10 @@ type QueryRequest struct {
 	// Profile requests the per-operator span tree in the response
 	// (equivalent to prefixing the query text with PROFILE).
 	Profile bool `json:"profile"`
+	// Analyze, on POST /explain, executes the query with tracing forced
+	// on and returns the estimate-vs-actual operator table (equivalent to
+	// prefixing the query text with EXPLAIN ANALYZE).
+	Analyze bool `json:"analyze"`
 }
 
 // QueryResponse is the body of a successful POST /query.
@@ -138,6 +143,10 @@ type QueryResponse struct {
 	Rows    [][]any                 `json:"rows"`
 	Timings TimingsResponse         `json:"timings"`
 	Profile *telemetry.SpanSnapshot `json:"profile,omitempty"`
+	// Plan and Analysis are set when the query text itself was an
+	// EXPLAIN / EXPLAIN ANALYZE.
+	Plan     string           `json:"plan,omitempty"`
+	Analysis *engine.Analysis `json:"analysis,omitempty"`
 }
 
 // TimingsResponse is the stage breakdown in milliseconds.
@@ -279,9 +288,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		rows = [][]any{}
 	}
 	resp := QueryResponse{
-		Columns: res.Columns,
-		Rows:    rows,
-		Timings: toTimings(res.Timings, wall),
+		Columns:  res.Columns,
+		Rows:     rows,
+		Timings:  toTimings(res.Timings, wall),
+		Plan:     res.Plan,
+		Analysis: res.Analysis,
 	}
 	if wantProfile {
 		resp.Profile = profile
@@ -305,7 +316,28 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
+	resp := ExplainResponse{Plan: plan}
+	// {"analyze": true} (or an EXPLAIN ANALYZE query text) additionally
+	// executes the query with tracing forced on and attaches the
+	// estimate-vs-actual operator table as structured JSON.
+	if req.Analyze || q.Analyze {
+		a, err := cypher.AnalyzeQuery(r.Context(), s.eng, q, req.Params)
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+			return
+		}
+		resp.Analysis = a
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ExplainResponse is the body of a successful POST /explain. Analysis is
+// present only when the request asked for analyze mode; its operators are
+// structs (op, detail, est_rows, actual_rows, err_ratio, time_ms, …), not
+// pre-rendered text.
+type ExplainResponse struct {
+	Plan     string           `json:"plan"`
+	Analysis *engine.Analysis `json:"analysis,omitempty"`
 }
 
 // handleMetrics serves the default telemetry registry in Prometheus text

@@ -195,8 +195,12 @@ type Histogram struct {
 }
 
 // DefBuckets is the default latency bucket ladder in seconds, spanning
-// sub-millisecond operator calls to ten-second analytical queries.
+// single-microsecond operator calls to ten-second analytical queries. The
+// sub-millisecond rungs matter at small scales: at -scale 0.02 most kernel
+// stages finish in microseconds and would otherwise collapse into one
+// bucket.
 var DefBuckets = []float64{
+	0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005, 0.0001, 0.00025,
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 

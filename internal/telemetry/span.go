@@ -22,7 +22,7 @@ import (
 
 // maxAttrs bounds per-span attributes so SetInt/SetStr never allocate;
 // attributes beyond the cap are dropped.
-const maxAttrs = 12
+const maxAttrs = 16
 
 type attrKind uint8
 
@@ -186,6 +186,67 @@ func (s *Span) Snapshot() *SpanSnapshot {
 		sn.Children = append(sn.Children, c.Snapshot())
 	}
 	return sn
+}
+
+// Int returns the named integer attribute. It is the cardinality-extraction
+// accessor EXPLAIN ANALYZE uses to join actual operator counts (pairs,
+// tuples, matrix bytes) against the planner's estimates.
+func (sn *SpanSnapshot) Int(key string) (int64, bool) {
+	if sn == nil {
+		return 0, false
+	}
+	v, ok := sn.Attrs[key].(int64)
+	return v, ok
+}
+
+// Str returns the named string attribute (kernel, memo state, …).
+func (sn *SpanSnapshot) Str(key string) (string, bool) {
+	if sn == nil {
+		return "", false
+	}
+	v, ok := sn.Attrs[key].(string)
+	return v, ok
+}
+
+// Find returns the first span named name in a pre-order walk of the tree
+// rooted at sn (sn itself included), or nil.
+func (sn *SpanSnapshot) Find(name string) *SpanSnapshot {
+	if sn == nil {
+		return nil
+	}
+	if sn.Name == name {
+		return sn
+	}
+	for _, c := range sn.Children {
+		if m := c.Find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// ByName collects every span named name in pre-order (sn included). The
+// engine emits operator spans in plan order on one goroutine, so the slice
+// order matches the plan's operator order.
+func (sn *SpanSnapshot) ByName(name string) []*SpanSnapshot {
+	var out []*SpanSnapshot
+	sn.Walk(func(s *SpanSnapshot) {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	})
+	return out
+}
+
+// Walk visits sn and every descendant in pre-order.
+func (sn *SpanSnapshot) Walk(fn func(*SpanSnapshot)) {
+	if sn == nil {
+		return
+	}
+	fn(sn)
+	for _, c := range sn.Children {
+		c.Walk(fn)
+	}
 }
 
 // Render draws the span tree as indented text:

@@ -1,0 +1,27 @@
+package vexpand
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// TestAnnotateSpanDisabledPathAllocationFree pins the hot-path contract
+// vslint checks statically: with tracing disabled (nil span, the common
+// case), annotateSpan must not allocate — in particular the PairCount
+// popcount scan added for EXPLAIN ANALYZE must stay behind the nil-span
+// early return.
+func TestAnnotateSpanDisabledPathAllocationFree(t *testing.T) {
+	g := figure3(t)
+	d := pattern.Determiner{KMin: 1, KMax: 2, Dir: graph.Both, Type: pattern.Any, EdgeLabels: []string{"knows"}}
+	res, err := Expand(g, []graph.VertexID{0, 2}, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		annotateSpan(nil, res, d)
+	}); n != 0 {
+		t.Fatalf("annotateSpan on nil span allocates %.0f times per run, want 0", n)
+	}
+}

@@ -231,6 +231,10 @@ func annotateSpan(sp *telemetry.Span, res *Result, d pattern.Determiner) {
 	sp.SetInt("steps", int64(res.Stats.Steps))
 	sp.SetInt("intermediate", res.Stats.IntermediateResults)
 	sp.SetInt("matrix_bytes", res.Stats.MatrixBytes)
+	// The operator's actual output cardinality — what EXPLAIN ANALYZE joins
+	// against the planner's EstPairs. The popcount scan only runs when a
+	// trace is active (nil-span early return above).
+	sp.SetInt("pairs", int64(res.PairCount()))
 }
 
 // chooseKernel makes the planner's "fast online decision" (§5.2): it

@@ -1,0 +1,184 @@
+// Command benchdiff compares two BENCH_*.json records produced by
+// `vsbench -json` and fails on performance regressions.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff.go [-tolerance 50] [-all] CANDIDATE.json BASELINE.json
+//
+// CANDIDATE is the new run, BASELINE the reference (e.g. the checked-in
+// bench/baseline.json). A case regresses when its candidate median exceeds
+// the baseline median by more than -tolerance percent. Only tier-1 cases
+// gate by default (-all widens to every case); cases without a timing
+// (median_ns < 0: size-only rows, timeouts, unsupported systems) and cases
+// present on only one side are reported but never fail the diff.
+//
+// Exit status: 0 = no regression, 1 = regression or record mismatch,
+// 2 = usage/IO error.
+//
+// This file is self-contained (no repo-internal imports) so it runs as a
+// single-file `go run` without building the rest of the module.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// benchCase mirrors internal/bench.CaseResult's JSON shape.
+type benchCase struct {
+	Name     string `json:"name"`
+	MedianNs int64  `json:"median_ns"`
+	P95Ns    int64  `json:"p95_ns"`
+	Tier1    bool   `json:"tier1"`
+}
+
+// benchRecord mirrors internal/bench.Record's JSON shape (host fields are
+// read into a free-form map purely for the cross-host warning).
+type benchRecord struct {
+	Schema     int            `json:"schema"`
+	Experiment string         `json:"experiment"`
+	Scale      float64        `json:"scale"`
+	Host       map[string]any `json:"host"`
+	Cases      []benchCase    `json:"cases"`
+}
+
+func readRecord(path string) (*benchRecord, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchRecord
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// diffResult summarizes one comparison.
+type diffResult struct {
+	Regressions int
+	Compared    int
+	Skipped     int
+}
+
+// diff compares candidate against baseline, writing one line per case to
+// out. It returns an error (and no result) when the records are not
+// comparable: different schema, experiment, or scale.
+func diff(cand, base *benchRecord, tolerance float64, all bool, out, errw io.Writer) (diffResult, error) {
+	var res diffResult
+	if cand.Schema != base.Schema {
+		return res, fmt.Errorf("schema mismatch: candidate %d vs baseline %d", cand.Schema, base.Schema)
+	}
+	if cand.Experiment != base.Experiment {
+		return res, fmt.Errorf("experiment mismatch: %q vs %q", cand.Experiment, base.Experiment)
+	}
+	if cand.Scale != base.Scale {
+		return res, fmt.Errorf("scale mismatch: %g vs %g — not comparable", cand.Scale, base.Scale)
+	}
+	if ch, bh := fmt.Sprint(cand.Host["cpu_model"]), fmt.Sprint(base.Host["cpu_model"]); ch != bh {
+		fmt.Fprintf(errw, "benchdiff: warning: different CPUs (%q vs %q); numbers may not be comparable\n", ch, bh)
+	}
+
+	baseByName := make(map[string]benchCase, len(base.Cases))
+	for _, c := range base.Cases {
+		baseByName[c.Name] = c
+	}
+	names := make([]string, 0, len(cand.Cases))
+	candByName := make(map[string]benchCase, len(cand.Cases))
+	for _, c := range cand.Cases {
+		names = append(names, c.Name)
+		candByName[c.Name] = c
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		c := candByName[name]
+		b, ok := baseByName[name]
+		if !ok {
+			fmt.Fprintf(out, "NEW      %-40s %s\n", name, fmtNs(c.MedianNs))
+			continue
+		}
+		if !all && !c.Tier1 {
+			res.Skipped++
+			continue
+		}
+		if c.MedianNs <= 0 || b.MedianNs <= 0 {
+			res.Skipped++
+			continue
+		}
+		res.Compared++
+		delta := 100 * (float64(c.MedianNs) - float64(b.MedianNs)) / float64(b.MedianNs)
+		status := "ok"
+		if delta > tolerance {
+			status = "REGRESSED"
+			res.Regressions++
+		}
+		fmt.Fprintf(out, "%-9s %-40s %12s -> %12s  %+7.1f%%\n", status, name, fmtNs(b.MedianNs), fmtNs(c.MedianNs), delta)
+	}
+	for _, name := range sortedKeys(baseByName) {
+		if _, ok := candByName[name]; !ok {
+			fmt.Fprintf(out, "MISSING  %-40s (in baseline only)\n", name)
+		}
+	}
+	fmt.Fprintf(out, "compared %d case(s), skipped %d, tolerance %.0f%%\n", res.Compared, res.Skipped, tolerance)
+	return res, nil
+}
+
+func sortedKeys(m map[string]benchCase) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 50, "allowed median slowdown in percent before failing")
+	all := flag.Bool("all", false, "gate on every timed case, not just tier-1")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-tolerance PCT] [-all] CANDIDATE.json BASELINE.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cand, err := readRecord(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	base, err := readRecord(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	res, err := diff(cand, base, *tolerance, *all, os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if res.Regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d case(s) regressed beyond %.0f%%\n", res.Regressions, *tolerance)
+		os.Exit(1)
+	}
+}
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rec(exp string, scale float64, cases ...benchCase) *benchRecord {
+	return &benchRecord{Schema: 1, Experiment: exp, Scale: scale, Cases: cases}
+}
+
+func TestDiffIdenticalPasses(t *testing.T) {
+	base := rec("fig9", 0.02,
+		benchCase{Name: "fig9/strawman", MedianNs: 1000, Tier1: true},
+		benchCase{Name: "fig9/prefetch", MedianNs: 100, Tier1: true},
+	)
+	var out, errw strings.Builder
+	res, err := diff(base, base, 50, false, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 0 || res.Compared != 2 {
+		t.Fatalf("got %+v, want 0 regressions over 2 compared", res)
+	}
+}
+
+func TestDiffDoubledMedianRegresses(t *testing.T) {
+	base := rec("fig9", 0.02, benchCase{Name: "fig9/prefetch", MedianNs: 100, Tier1: true})
+	cand := rec("fig9", 0.02, benchCase{Name: "fig9/prefetch", MedianNs: 200, Tier1: true})
+	var out, errw strings.Builder
+	res, err := diff(cand, base, 50, false, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 1 {
+		t.Fatalf("2x slowdown at 50%% tolerance: got %+v, want 1 regression", res)
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("output missing REGRESSED line:\n%s", out.String())
+	}
+	// The same slowdown passes a laxer gate.
+	res, err = diff(cand, base, 150, false, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 0 {
+		t.Fatalf("2x slowdown at 150%% tolerance: got %+v, want 0 regressions", res)
+	}
+}
+
+func TestDiffSkipsNonTier1AndUntimed(t *testing.T) {
+	base := rec("fig6", 0.02,
+		benchCase{Name: "fig6/c1/LastFM/vertexsurge", MedianNs: 100, Tier1: true},
+		benchCase{Name: "fig6/c1/LastFM/join", MedianNs: 100},
+		benchCase{Name: "fig6/c2/LastFM/vertexsurge", MedianNs: -1, Tier1: true},
+	)
+	cand := rec("fig6", 0.02,
+		benchCase{Name: "fig6/c1/LastFM/vertexsurge", MedianNs: 100, Tier1: true},
+		benchCase{Name: "fig6/c1/LastFM/join", MedianNs: 10_000}, // 100x, but not tier-1
+		benchCase{Name: "fig6/c2/LastFM/vertexsurge", MedianNs: -1, Tier1: true},
+	)
+	var out, errw strings.Builder
+	res, err := diff(cand, base, 50, false, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 0 || res.Compared != 1 || res.Skipped != 2 {
+		t.Fatalf("got %+v, want compared=1 skipped=2 regressions=0", res)
+	}
+	// -all widens the gate to the baseline column too.
+	res, err = diff(cand, base, 50, true, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 1 {
+		t.Fatalf("-all: got %+v, want the join regression counted", res)
+	}
+}
+
+func TestDiffRejectsMismatchedRecords(t *testing.T) {
+	a := rec("fig9", 0.02)
+	var out, errw strings.Builder
+	if _, err := diff(rec("fig9", 0.05), a, 50, false, &out, &errw); err == nil {
+		t.Fatal("scale mismatch not rejected")
+	}
+	if _, err := diff(rec("fig7", 0.02), a, 50, false, &out, &errw); err == nil {
+		t.Fatal("experiment mismatch not rejected")
+	}
+	b := rec("fig9", 0.02)
+	b.Schema = 2
+	if _, err := diff(b, a, 50, false, &out, &errw); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+}
+
+func TestDiffNewAndMissingCasesNeverFail(t *testing.T) {
+	base := rec("fig9", 0.02, benchCase{Name: "fig9/strawman", MedianNs: 100, Tier1: true})
+	cand := rec("fig9", 0.02, benchCase{Name: "fig9/bfs", MedianNs: 100, Tier1: true})
+	var out, errw strings.Builder
+	res, err := diff(cand, base, 50, false, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regressions != 0 {
+		t.Fatalf("got %+v, want disjoint case sets to pass", res)
+	}
+	if !strings.Contains(out.String(), "NEW") || !strings.Contains(out.String(), "MISSING") {
+		t.Fatalf("output missing NEW/MISSING lines:\n%s", out.String())
+	}
+}

@@ -7,6 +7,9 @@
 #   FUZZTIME=30s scripts/verify.sh   # longer fuzz smoke
 #   SKIP_FUZZ=1 scripts/verify.sh    # skip the fuzz smoke (e.g. constrained machines)
 #   SKIP_SMOKE=1 scripts/verify.sh   # skip the vsserve end-to-end smoke
+#   SKIP_BENCH=1 scripts/verify.sh   # skip the bench perf-regression gate
+#   BENCH_TOLERANCE=400 scripts/verify.sh  # perf-gate slack in percent
+#   BENCH_OUT=out scripts/verify.sh  # keep BENCH_*.json records (for CI artifacts)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -79,6 +82,27 @@ if [ -z "${SKIP_SMOKE:-}" ]; then
         || { echo "vs_queries_total did not reach 1:" >&2; echo "$metrics" | grep vs_queries >&2; exit 1; }
     echo "$metrics" | grep -q 'vs_query_stage_seconds_count{stage="total"} 1' \
         || { echo "stage histogram missing:" >&2; echo "$metrics" | grep stage >&2; exit 1; }
+fi
+
+if [ -z "${SKIP_BENCH:-}" ]; then
+    step "bench perf-regression gate (fig9 @ 0.02 vs bench/baseline.json)"
+    # The gate catches order-of-magnitude regressions (an accidental
+    # strawman fallback, a lost optimization), not percent-level noise:
+    # CI machines differ from the machine that recorded the baseline, so
+    # the default tolerance is wide. Tighten BENCH_TOLERANCE when the
+    # baseline was recorded on the same hardware.
+    # No trap here: the smoke step above owns the EXIT trap. A mktemp dir
+    # only leaks if the gate itself fails.
+    benchout="${BENCH_OUT:-}"
+    keep_bench=1
+    if [ -z "$benchout" ]; then
+        benchout="$(mktemp -d)"
+        keep_bench=""
+    fi
+    go run ./cmd/vsbench -exp fig9 -scale 0.02 -json "$benchout"
+    go run ./scripts/benchdiff.go -tolerance "${BENCH_TOLERANCE:-400}" \
+        "$benchout/BENCH_fig9_0.02.json" bench/baseline.json
+    [ -n "$keep_bench" ] || rm -rf "$benchout"
 fi
 
 step "verify OK"

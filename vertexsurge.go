@@ -65,6 +65,11 @@ type (
 	// QuerySpan is one node of the per-operator span tree returned by
 	// PROFILE queries (QueryResult.Profile).
 	QuerySpan = telemetry.SpanSnapshot
+	// Analysis is an EXPLAIN ANALYZE result: per-operator rows joining
+	// the planner's estimates against measured cardinalities and times.
+	Analysis = engine.Analysis
+	// AnalyzedOp is one operator row of an Analysis.
+	AnalyzedOp = engine.AnalyzedOp
 	// Timings is the per-stage execution breakdown.
 	Timings = engine.Timings
 	// Reachability is a VExpand result: the reachability matrix between
@@ -229,6 +234,24 @@ func (db *DB) Explain(src string, params map[string]any) (string, error) {
 		return "", err
 	}
 	return cypher.ExplainQuery(db.eng, q, params)
+}
+
+// ExplainAnalyze parses a query, executes it with tracing forced on, and
+// returns the per-operator table joining the planner's estimates against
+// the actual cardinalities, matrix bytes, memo states, and wall times
+// captured in the span tree. UNWIND and shortestPath queries are not
+// supported.
+func (db *DB) ExplainAnalyze(src string, params map[string]any) (*Analysis, error) {
+	return db.ExplainAnalyzeContext(context.Background(), src, params)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze with context propagation.
+func (db *DB) ExplainAnalyzeContext(ctx context.Context, src string, params map[string]any) (*Analysis, error) {
+	q, err := cypher.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return cypher.AnalyzeQuery(ctx, db.eng, q, params)
 }
 
 // MatchForEach streams every distinct matched tuple to fn (in pattern
