@@ -7,7 +7,9 @@
 //	vsbench -exp fig9 -scale 0.05 -kmax 3
 //	vsbench -exp fig9 -scale 0.02 -json out/
 //
-// Experiments: table1, fig2b, fig6, fig7, fig8, table2, fig9, all.
+// Experiments: table1, fig2b, fig6, fig7, fig8, table2, fig9, ablations,
+// cache, all. The cache experiment measures the engine-level
+// reachability-matrix cache on repeated queries (cold vs warm).
 // Scale 1.0 means the paper's dataset sizes (Twitter2010 at scale 1.0
 // needs a very large machine; the default regenerates every shape in
 // seconds).
@@ -31,7 +33,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vsbench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig2b|fig6|fig7|fig8|table2|fig9|ablations|all")
+		exp     = flag.String("exp", "all", "experiment: table1|fig2b|fig6|fig7|fig8|table2|fig9|ablations|cache|all")
 		scale   = flag.Float64("scale", 0.02, "dataset scale relative to Table 1")
 		budget  = flag.Int64("budget", 20_000_000, "baseline intermediate-tuple budget (timeout stand-in)")
 		workers = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
@@ -143,9 +145,17 @@ func main() {
 			bench.PrintFig9(w, rows)
 			return emit(bench.RecordFig9(cfg, rows))
 		},
+		"cache": func() error {
+			rows, err := bench.Cache(cfg)
+			if err != nil {
+				return err
+			}
+			bench.PrintCache(w, rows)
+			return emit(bench.RecordCache(cfg, rows))
+		},
 	}
 
-	order := []string{"table1", "fig2b", "fig6", "fig7", "fig8", "table2", "fig9", "ablations"}
+	order := []string{"table1", "fig2b", "fig6", "fig7", "fig8", "table2", "fig9", "ablations", "cache"}
 	if *exp != "all" {
 		fn, ok := run[*exp]
 		if !ok {

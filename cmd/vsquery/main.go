@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -83,6 +84,7 @@ func main() {
 		timing      = flag.Bool("timing", false, "print the per-stage breakdown")
 		explain     = flag.Bool("explain", false, "print the query plan instead of executing")
 		analyze     = flag.Bool("analyze", false, "execute with tracing and print estimate-vs-actual per operator")
+		timeout     = flag.Duration("timeout", 0, "cancel the query after this deadline (0 = none)")
 		interactive = flag.Bool("i", false, "interactive shell (ignores -query/-file)")
 	)
 	flag.Var(params, "param", "query parameter name=value (repeatable)")
@@ -105,6 +107,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if *interactive {
 		sh := repl.New(db.Engine(), os.Stdin, os.Stdout)
 		sh.Params = params
@@ -122,7 +130,7 @@ func main() {
 		return
 	}
 	if *analyze {
-		a, err := db.ExplainAnalyze(src, params)
+		a, err := db.ExplainAnalyzeContext(ctx, src, params)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -130,7 +138,7 @@ func main() {
 		return
 	}
 	start := time.Now()
-	res, err := db.Query(src, params)
+	res, err := db.QueryContext(ctx, src, params)
 	if err != nil {
 		log.Fatal(err)
 	}

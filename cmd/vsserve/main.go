@@ -12,6 +12,9 @@
 //	-debug-addr 127.0.0.1:6060   net/http/pprof endpoints (off by default)
 //	-slow-query 500ms            log the operator span tree of slower queries
 //	-access-log                  structured access log with request IDs (on by default)
+//	-query-timeout 30s           cancel queries exceeding this deadline → 504 (0 = none)
+//	-cache-bytes 64MiB           engine-level reachability-matrix cache (-1 = off)
+//	-memory-budget N             cap live intermediate bytes across queries (0 = unlimited)
 package main
 
 import (
@@ -35,12 +38,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vsserve: ")
 	var (
-		data      = flag.String("data", "", "graph directory written by vsgen (required)")
-		addr      = flag.String("addr", ":7474", "listen address")
-		workers   = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
-		debugAddr = flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. 127.0.0.1:6060)")
-		slowQuery = flag.Duration("slow-query", 0, "log the span tree of queries slower than this (0 = off)")
-		accessLog = flag.Bool("access-log", true, "structured access log with request IDs")
+		data         = flag.String("data", "", "graph directory written by vsgen (required)")
+		addr         = flag.String("addr", ":7474", "listen address")
+		workers      = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		debugAddr    = flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. 127.0.0.1:6060)")
+		slowQuery    = flag.Duration("slow-query", 0, "log the span tree of queries slower than this (0 = off)")
+		accessLog    = flag.Bool("access-log", true, "structured access log with request IDs")
+		queryTimeout = flag.Duration("query-timeout", 0, "cancel queries exceeding this deadline with 504 (0 = none)")
+		cacheBytes   = flag.Int64("cache-bytes", engine.DefaultCacheBytes, "engine-level reachability-matrix cache bytes (0 or negative = off)")
+		memoryBudget = flag.Int64("memory-budget", 0, "cap live intermediate bytes across queries (0 = unlimited)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -51,15 +57,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := engine.New(g, engine.Options{Workers: *workers})
+	cache := *cacheBytes
+	if cache < 0 {
+		cache = 0
+	}
+	eng := engine.New(g, engine.Options{
+		Workers:      *workers,
+		CacheBytes:   cache,
+		MemoryBudget: *memoryBudget,
+	})
 
 	var logger *slog.Logger
 	if *accessLog || *slowQuery > 0 {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	srv := server.NewWithOptions(eng, server.Options{
-		Logger:    logger,
-		SlowQuery: *slowQuery,
+		Logger:       logger,
+		SlowQuery:    *slowQuery,
+		QueryTimeout: *queryTimeout,
 	})
 
 	if *debugAddr != "" {

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/telemetry"
+)
+
+// warmRuns is how many warm repetitions the cache experiment medians over:
+// warm queries are cheap (no expansion runs), so repetition is nearly free
+// and pins down the small numbers the CI gate compares.
+const warmRuns = 5
+
+// CacheRow is one query shape of the engine-cache experiment: the cold run
+// populates the engine-level reachability-matrix cache, the warm runs are
+// answered from it.
+type CacheRow struct {
+	Name string
+	// Cold is the first execution (cache empty, every expansion runs).
+	Cold time.Duration
+	// Warm is the median of warmRuns repeats with every expansion
+	// answered by the cache.
+	Warm time.Duration
+	// Hits is the matrix-cache hit count the warm runs produced.
+	Hits int64
+	// Count is the result cardinality, identical cold and warm (cached
+	// matrices must not change answers).
+	Count int64
+}
+
+// Cache measures the engine-level matrix cache on the repeated-query
+// pattern a production service sees: the same shape issued back to back.
+// The serial engine re-expanded every edge on every execution; the cache
+// turns the repeats into pure joins.
+func Cache(cfg Config) ([]CacheRow, error) {
+	ds := newDatasets(cfg)
+	d, err := ds.get("LastFM")
+	if err != nil {
+		return nil, err
+	}
+	eng := engine.New(d.Graph, engine.Options{
+		Workers:    cfg.Workers,
+		CacheBytes: engine.DefaultCacheBytes,
+	})
+
+	type shape struct {
+		name string
+		run  func() (int64, engine.Timings, error)
+	}
+	shapes := []shape{
+		{"triangle_k2", func() (int64, engine.Timings, error) { return eng.Case4(2) }},
+		{"pair_k3", func() (int64, engine.Timings, error) { return eng.Case1(3) }},
+	}
+
+	var rows []CacheRow
+	for _, s := range shapes {
+		row := CacheRow{Name: s.name}
+		coldCount := int64(0)
+		row.Cold, err = timed(func() error {
+			var err error
+			coldCount, _, err = s.run()
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.Count = coldCount
+
+		hits0 := telemetry.MatrixCacheHits.Value()
+		warm := make([]time.Duration, warmRuns)
+		for i := range warm {
+			warm[i], err = timed(func() error {
+				count, _, err := s.run()
+				if err != nil {
+					return err
+				}
+				if count != coldCount {
+					return fmt.Errorf("cache: %s warm count %d != cold count %d", s.name, count, coldCount)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		sort.Slice(warm, func(a, b int) bool { return warm[a] < warm[b] })
+		row.Warm = warm[len(warm)/2]
+		row.Hits = telemetry.MatrixCacheHits.Value() - hits0
+		if row.Hits == 0 {
+			return nil, fmt.Errorf("cache: %s warm runs produced no matrix-cache hits", s.name)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintCache renders the cache experiment.
+func PrintCache(w io.Writer, rows []CacheRow) {
+	header(w, "Engine matrix cache — repeated query, cold vs warm")
+	fmt.Fprintf(w, "%-14s %-12s %-14s %-14s %-8s %-8s\n", "query", "matches", "cold", "warm(median)", "hits", "speedup")
+	for _, r := range rows {
+		speedup := "-"
+		if r.Warm > 0 {
+			speedup = fmt.Sprintf("%.1fx", float64(r.Cold)/float64(r.Warm))
+		}
+		fmt.Fprintf(w, "%-14s %-12d %-14s %-14s %-8d %-8s\n",
+			r.Name, r.Count, fmtDur(r.Cold), fmtDur(r.Warm), r.Hits, speedup)
+	}
+}

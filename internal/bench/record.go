@@ -246,6 +246,21 @@ func RecordTable2(cfg Config, rows []Table2Row) *Record {
 	return r
 }
 
+// RecordCache records the repeated-query cache experiment. The warm
+// (cache-hit) medians are tier-1: a regression there means repeated
+// queries stopped hitting the engine cache. Cold runs ride along
+// untiered (they duplicate fig6-style full executions).
+func RecordCache(cfg Config, rows []CacheRow) *Record {
+	r := NewRecord(cfg, "cache")
+	for _, row := range rows {
+		cold := r.Add(fmt.Sprintf("cache/%s/cold", row.Name), row.Cold, false)
+		cold.Count = row.Count
+		warm := r.Add(fmt.Sprintf("cache/%s/warm", row.Name), row.Warm, true)
+		warm.Count = row.Hits
+	}
+	return r
+}
+
 // RecordAblations records the design-decision ablations (variance-prone,
 // untiered).
 func RecordAblations(cfg Config, rows []AblationRow) *Record {

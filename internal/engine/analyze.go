@@ -35,8 +35,15 @@ type AnalyzedOp struct {
 	// are timed inside the plan span).
 	TimeMs float64 `json:"time_ms"`
 	// Kernel and Memo carry the expand span's kernel and memo=hit|miss.
+	// Memo reports query-local symmetry sharing (§2.3.2): the edge was
+	// answered by another edge of the same query.
 	Kernel string `json:"kernel,omitempty"`
 	Memo   string `json:"memo,omitempty"`
+	// Cache reports the engine-level cross-query matrix cache: "hit" when
+	// the expansion was answered from a previous query's result, "miss"
+	// when it ran and was inserted. Empty when the cache is disabled or
+	// the edge was a memo hit (the cache was never consulted for it).
+	Cache string `json:"cache,omitempty"`
 	// MatrixBytes is the expand's peak bit-matrix allocation.
 	MatrixBytes int64 `json:"matrix_bytes,omitempty"`
 }
@@ -146,6 +153,7 @@ func joinPlanAndSpans(pat *pattern.Pattern, res *MatchResult, snap *telemetry.Sp
 				op.TimeMs = es.DurationMs
 				op.Kernel, _ = es.Str("kernel")
 				op.Memo, _ = es.Str("memo")
+				op.Cache, _ = es.Str("cache")
 				op.MatrixBytes, _ = es.Int("matrix_bytes")
 				if pairs, ok := es.Int("pairs"); ok {
 					op.ActualRows = pairs
@@ -206,6 +214,9 @@ func (a *Analysis) Render() string {
 		}
 		if op.Memo != "" {
 			notes = append(notes, "memo="+op.Memo)
+		}
+		if op.Cache != "" {
+			notes = append(notes, "cache="+op.Cache)
 		}
 		if op.MatrixBytes > 0 {
 			notes = append(notes, fmt.Sprintf("matrix=%dB", op.MatrixBytes))

@@ -12,10 +12,10 @@ package engine
 import (
 	"context"
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/bitmatrix"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/mintersect"
 	"repro/internal/pattern"
@@ -24,29 +24,67 @@ import (
 	"repro/internal/vexpand"
 )
 
+// DefaultCacheBytes is the reachability-matrix cache size production
+// surfaces (vertexsurge.DB, vsserve) enable by default: 64 MiB holds the
+// working set of a few dozen mid-size expansions.
+const DefaultCacheBytes int64 = 64 << 20
+
 // Options configures an Engine.
 type Options struct {
-	// Workers bounds expand parallelism; 0 = GOMAXPROCS.
+	// Workers bounds expand parallelism; 0 = GOMAXPROCS. It bounds both
+	// intra-operator workers (stack partitioning) and the scheduler's
+	// concurrent independent operators.
 	Workers int
 	// Kernel pins the VExpand kernel; Auto by default.
 	Kernel vexpand.Kernel
+	// CacheBytes bounds the engine-level reachability-matrix cache
+	// shared across queries. 0 disables the cache (the conservative
+	// default: benchmarks and tests measure real expansions); production
+	// callers pass DefaultCacheBytes or their own budget.
+	CacheBytes int64
+	// MemoryBudget caps live intermediate bytes — matrices under
+	// expansion, cache residency, join-time clones, spill buffers —
+	// across all concurrent queries. 0 = unlimited (still metered).
+	MemoryBudget int64
 }
 
 // Engine executes VLGPM queries against one graph.
 type Engine struct {
-	g    *graph.Graph
-	opts Options
+	g     *graph.Graph
+	opts  Options
+	acct  *exec.Accountant
+	cache *exec.MatrixCache
 }
 
 // New returns an engine over g.
 func New(g *graph.Graph, opts Options) *Engine {
-	return &Engine{g: g, opts: opts}
+	e := &Engine{g: g, opts: opts}
+	e.acct = exec.NewAccountant(opts.MemoryBudget)
+	if opts.CacheBytes > 0 {
+		e.cache = exec.NewMatrixCache(opts.CacheBytes, e.acct)
+		// Under budget pressure, cached matrices yield to live queries.
+		e.acct.OnPressure = e.cache.EvictBytes
+	}
+	return e
 }
 
 // Graph returns the underlying graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
+// CacheStats reports the engine-level matrix cache's resident entries and
+// bytes (both zero when the cache is disabled).
+func (e *Engine) CacheStats() (entries int, bytes int64) {
+	return e.cache.Len(), e.cache.Bytes()
+}
+
+// MemoryInUse reports the bytes currently reserved against the engine's
+// memory budget (live intermediates plus cache residency).
+func (e *Engine) MemoryInUse() int64 { return e.acct.InUse() }
+
 // Timings is the per-stage breakdown of one query (Figure 8's components).
+// Stage times are summed across operators; with the scheduler running
+// independent expands concurrently, Expand may exceed the wall-clock share
+// it occupies inside Total (CPU time attributed, not elapsed time).
 type Timings struct {
 	// Scan is candidate scanning and planning.
 	Scan time.Duration
@@ -169,42 +207,112 @@ func (e *Engine) MatchContext(ctx context.Context, pat *pattern.Pattern, opts Ma
 		return res, nil
 	}
 
-	in, err := e.buildJoinInput(ctx, plan, res)
-	if err != nil {
+	// Lower the plan into its physical-operator DAG and schedule it:
+	// independent expands run concurrently (bounded by Options.Workers),
+	// the intersect waits on all of them, the aggregate on the intersect.
+	qc := exec.NewQueryContext(ctx, e.acct, e.opts.Workers)
+	expandOps, dag, expandNodes := e.lowerExpands(plan)
+	iop := &exec.IntersectOp{
+		NumPatternVertices: n,
+		FirstCols:          plan.CandList[plan.Order[0]],
+		RowCandidates:      rowCandidates(plan),
+		Opts: mintersect.Options{
+			CountOnly: opts.CountOnly,
+			Limit:     opts.Limit,
+			Workers:   e.opts.Workers,
+		},
+	}
+	for i := range plan.Edges {
+		pe := &plan.Edges[i]
+		iop.Edges = append(iop.Edges, exec.JoinEdge{
+			EarlierPos: pe.EarlierPos, LaterPos: pe.LaterPos, Src: expandOps[i],
+		})
+	}
+	inode := dag.Add(iop, expandNodes...)
+	aop := &exec.AggregateOp{Intersect: iop, Order: plan.Order, N: n, CountOnly: opts.CountOnly}
+	dag.Add(aop, inode)
+
+	if err := dag.Run(qc); err != nil {
 		return nil, err
 	}
 
-	t1 := time.Now()
-	jr, err := mintersect.RunContext(ctx, in, mintersect.Options{
-		CountOnly: opts.CountOnly,
-		Limit:     opts.Limit,
-		Workers:   e.opts.Workers,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Timings.Intersect = time.Since(t1)
-	res.Count = jr.Count
-
-	// Reorder tuples from join order back to pattern declaration order.
-	t2 := time.Now()
-	_, asp := telemetry.StartSpan(ctx, "aggregate")
-	if !opts.CountOnly {
-		res.Tuples = make([][]graph.VertexID, len(jr.Tuples))
-		for i, tup := range jr.Tuples {
-			out := make([]graph.VertexID, n)
-			for pos, v := range tup {
-				out[plan.Order[pos]] = v
-			}
-			res.Tuples[i] = out
-		}
-	}
-	asp.SetInt("tuples", res.Count)
-	asp.End()
-	res.Timings.Aggregate = time.Since(t2)
+	collectExpandStats(res, expandOps)
+	res.Timings.Intersect = iop.Wall
+	res.Timings.Aggregate = aop.Wall
+	res.Count = aop.Count
+	res.Tuples = aop.Tuples
 	res.Timings.Total = time.Since(start)
 	e.recordMatch(res)
 	return res, nil
+}
+
+// lowerExpands builds one ExpandOp per distinct expansion of the plan
+// (planner.Plan.Operators' dedup — the §2.3.2 symmetry memo as DAG
+// construction) and returns, per planned edge, the op serving it.
+func (e *Engine) lowerExpands(plan *planner.Plan) (perEdge []*exec.ExpandOp, dag *exec.DAG, nodes []*exec.Node) {
+	dag = exec.NewDAG()
+	perEdge = make([]*exec.ExpandOp, len(plan.Edges))
+	for _, spec := range plan.Operators() {
+		if spec.Kind != "expand" {
+			continue
+		}
+		pe := &plan.Edges[spec.Edges[0]]
+		sources := plan.CandList[pe.ExpandFrom]
+		op := &exec.ExpandOp{
+			Graph:   e.g,
+			Sources: sources,
+			D:       pe.D,
+			Opts: vexpand.Options{
+				Kernel:  e.opts.Kernel,
+				Workers: e.opts.Workers,
+				Budget:  e.acct,
+			},
+			Cache: e.cache,
+			From:  pe.ExpandFrom,
+		}
+		if e.cache != nil {
+			op.Key = exec.NewCacheKey(e.g.Epoch(), pe.D, sources)
+		}
+		for _, ei := range spec.Edges {
+			op.Edges = append(op.Edges, plan.Edges[ei].PatternEdge)
+			perEdge[ei] = op
+		}
+		nodes = append(nodes, dag.Add(op))
+	}
+	return perEdge, dag, nodes
+}
+
+// rowCandidates lists the candidates per join position (position 0 unused).
+func rowCandidates(plan *planner.Plan) [][]graph.VertexID {
+	n := len(plan.Order)
+	rows := make([][]graph.VertexID, n)
+	for t := 1; t < n; t++ {
+		rows[t] = plan.CandList[plan.Order[t]]
+	}
+	return rows
+}
+
+// collectExpandStats accumulates stats and stage timings from the expand
+// operators that actually ran (cache hits did no work in this query; the
+// dedup of symmetric edges already counts each distinct expansion once —
+// the serial engine's ExpandStats semantics, preserved).
+func collectExpandStats(res *MatchResult, ops []*exec.ExpandOp) {
+	seen := make(map[*exec.ExpandOp]bool, len(ops))
+	for _, op := range ops {
+		if op == nil || seen[op] || op.CacheState == "hit" || op.Result == nil {
+			continue
+		}
+		seen[op] = true
+		r := op.Result
+		res.ExpandStats.Steps += r.Stats.Steps
+		res.ExpandStats.IntermediateResults += r.Stats.IntermediateResults
+		res.ExpandStats.MatrixBytes += r.Stats.MatrixBytes
+		// Attribute the whole operator call (matrix allocation included)
+		// to the Expand stage, minus the separately tracked visited-set
+		// maintenance.
+		res.Timings.Expand += op.Wall - r.Stats.UpdateVisitTime
+		res.Timings.UpdateVisit += r.Stats.UpdateVisitTime
+	}
 }
 
 // recordMatch feeds one completed Match into the metrics registry.
@@ -216,142 +324,105 @@ func (e *Engine) recordMatch(res *MatchResult) {
 	}
 }
 
-// buildJoinInput expands every planned edge and assembles the MIntersect
-// input. Expand statistics and stage timings accumulate into res.
-//
-// Parallel edges sharing the same (earlier, later) position pair are ANDed
-// into one matrix. Identical expansions are computed once: two pattern
-// edges that expand from the same vertex's candidates under the same
-// determiner (e.g. the community triangle's b–c and a–c edges, both
-// expanding from c) share one reachability matrix — the pattern-symmetry
-// optimization §2.3.2 describes for the VLP search phase.
-func (e *Engine) buildJoinInput(ctx context.Context, plan *planner.Plan, res *MatchResult) (*mintersect.Input, error) {
-	n := len(plan.Order)
-	type key struct{ earlier, later int }
-	matrices := make(map[key]*bitmatrix.Matrix)
-	memo := make(map[string]*vexpand.Result)
-	for _, pe := range plan.Edges {
-		sources := plan.CandList[pe.ExpandFrom]
-		// The key spells out every determiner field (Determiner.String
-		// omits EdgePropEq; fmt prints maps in sorted key order).
-		memoKey := fmt.Sprintf("%d|%d|%d|%d|%d|%v|%v",
-			pe.ExpandFrom, pe.D.KMin, pe.D.KMax, pe.D.Dir, pe.D.Type, pe.D.EdgeLabels, pe.D.EdgePropEq)
-		ectx, esp := telemetry.StartSpan(ctx, "expand")
-		esp.SetInt("from", int64(pe.ExpandFrom))
-		esp.SetInt("edge", int64(pe.PatternEdge))
-		r, ok := memo[memoKey]
-		if !ok {
-			esp.SetStr("memo", "miss")
-			t0 := time.Now()
-			var err error
-			r, err = vexpand.ExpandContext(ectx, e.g, sources, pe.D, vexpand.Options{
-				Kernel:  e.opts.Kernel,
-				Workers: e.opts.Workers,
-			})
-			if err != nil {
-				esp.End()
-				return nil, err
-			}
-			wall := time.Since(t0)
-			memo[memoKey] = r
-			res.ExpandStats.Steps += r.Stats.Steps
-			res.ExpandStats.IntermediateResults += r.Stats.IntermediateResults
-			res.ExpandStats.MatrixBytes += r.Stats.MatrixBytes
-			// Attribute the whole operator call (matrix allocation
-			// included) to the Expand stage, minus the separately
-			// tracked visited-set maintenance.
-			res.Timings.Expand += wall - r.Stats.UpdateVisitTime
-			res.Timings.UpdateVisit += r.Stats.UpdateVisitTime
-		} else {
-			// The pattern-symmetry memo answered this edge for free; the
-			// span keeps the operator call visible with its shared shape.
-			esp.SetStr("memo", "hit")
-			esp.SetStr("kernel", r.Stats.Kernel.String())
-			esp.SetInt("sources", int64(len(sources)))
-			esp.SetInt("kmin", int64(pe.D.KMin))
-			esp.SetInt("kmax", int64(pe.D.KMax))
-			if esp != nil {
-				// Guarded so the popcount scan never runs untraced.
-				esp.SetInt("pairs", int64(r.PairCount()))
-			}
-		}
-		esp.End()
-		k := key{pe.EarlierPos, pe.LaterPos}
-		if m, ok := matrices[k]; ok {
-			m.And(r.Reach)
-		} else if len(plan.Edges) > 1 {
-			// The matrix may be shared via the memo and ANDed by a
-			// parallel edge later; keep shared results immutable.
-			matrices[k] = r.Reach.Clone()
-		} else {
-			matrices[k] = r.Reach
-		}
-	}
-
-	in := &mintersect.Input{
-		NumPatternVertices: n,
-		FirstCols:          plan.CandList[plan.Order[0]],
-		RowCandidates:      make([][]graph.VertexID, n),
-		Ext:                make([][]*mintersect.EdgeMatrix, n),
-	}
-	for t := 1; t < n; t++ {
-		in.RowCandidates[t] = plan.CandList[plan.Order[t]]
-	}
-	for k, m := range matrices {
-		em := &mintersect.EdgeMatrix{EarlierPos: k.earlier, M: m}
-		if k.earlier == 0 && k.later == 1 {
-			in.First = em
-		} else {
-			in.Ext[k.later] = append(in.Ext[k.later], em)
-		}
-	}
-	// Deterministic extension order (map iteration above is random).
-	for t := 2; t < n; t++ {
-		exts := in.Ext[t]
-		sort.Slice(exts, func(a, b int) bool { return exts[a].EarlierPos < exts[b].EarlierPos })
-	}
-	return in, nil
-}
-
 // MatchForEach runs the pattern and streams every distinct matched tuple
 // to fn, in pattern declaration order, without materializing the result
 // set. The tuple slice is reused between calls — copy it to retain it.
-// Streaming runs the join serially (no seed partitioning).
+// Streaming runs the join serially (no seed partitioning), but independent
+// expands still schedule concurrently.
 func (e *Engine) MatchForEach(pat *pattern.Pattern, fn func(tuple []graph.VertexID)) error {
 	return e.MatchForEachContext(context.Background(), pat, fn)
 }
 
 // MatchForEachContext is MatchForEach with trace propagation (see
-// MatchContext for the span model).
+// MatchContext for the span model). Like MatchContext, every completed
+// stream feeds the per-stage latency histograms and expand byte counters.
 func (e *Engine) MatchForEachContext(ctx context.Context, pat *pattern.Pattern, fn func(tuple []graph.VertexID)) error {
+	return e.MatchForEachOpts(ctx, pat, MatchOptions{}, fn)
+}
+
+// MatchForEachOpts is MatchForEachContext honoring MatchOptions: Order
+// forces the join order (planner ablation) and Limit stops the stream
+// after that many tuples. CountOnly is meaningless when streaming (fn
+// receives the tuples) and is ignored.
+func (e *Engine) MatchForEachOpts(ctx context.Context, pat *pattern.Pattern, opts MatchOptions, fn func(tuple []graph.VertexID)) error {
+	start := time.Now()
+	res := &MatchResult{}
+
+	t0 := time.Now()
 	_, psp := telemetry.StartSpan(ctx, "plan")
-	plan, err := planner.Build(e.g, pat)
+	var plan *planner.Plan
+	var err error
+	if opts.Order != nil {
+		plan, err = planner.BuildOrdered(e.g, pat, opts.Order)
+	} else {
+		plan, err = planner.Build(e.g, pat)
+	}
 	psp.End()
 	if err != nil {
 		return err
 	}
+	res.Plan = plan
+	res.Timings.Scan = time.Since(t0)
+
 	n := len(pat.Vertices)
 	if n == 1 {
 		buf := make([]graph.VertexID, 1)
 		for _, v := range plan.CandList[0] {
 			buf[0] = v
 			fn(buf)
+			res.Count++
+			if opts.Limit > 0 && res.Count >= opts.Limit {
+				break
+			}
 		}
+		res.Timings.Total = time.Since(start)
+		e.recordMatch(res)
 		return nil
 	}
-	res := &MatchResult{}
-	in, err := e.buildJoinInput(ctx, plan, res)
+
+	// Schedule the expand operators through the DAG (concurrent when
+	// independent), then stream the join serially on this goroutine.
+	qc := exec.NewQueryContext(ctx, e.acct, e.opts.Workers)
+	expandOps, dag, _ := e.lowerExpands(plan)
+	iop := &exec.IntersectOp{
+		NumPatternVertices: n,
+		FirstCols:          plan.CandList[plan.Order[0]],
+		RowCandidates:      rowCandidates(plan),
+	}
+	for i := range plan.Edges {
+		pe := &plan.Edges[i]
+		iop.Edges = append(iop.Edges, exec.JoinEdge{
+			EarlierPos: pe.EarlierPos, LaterPos: pe.LaterPos, Src: expandOps[i],
+		})
+	}
+	if err := dag.Run(qc); err != nil {
+		return err
+	}
+	collectExpandStats(res, expandOps)
+
+	in, cloned, err := iop.Assemble(qc)
 	if err != nil {
 		return err
 	}
+	defer e.acct.Release(cloned)
+
+	t1 := time.Now()
 	buf := make([]graph.VertexID, n)
 	var jr mintersect.Result
-	return mintersect.ForEachContext(ctx, in, mintersect.Options{}, func(tuple []graph.VertexID) {
+	err = mintersect.ForEachContext(ctx, in, mintersect.Options{Limit: opts.Limit}, func(tuple []graph.VertexID) {
 		for pos, v := range tuple {
 			buf[plan.Order[pos]] = v
 		}
 		fn(buf)
 	}, &jr)
+	res.Timings.Intersect = time.Since(t1)
+	res.Count = jr.Count
+	res.Timings.Total = time.Since(start)
+	if err != nil {
+		return err
+	}
+	e.recordMatch(res)
+	return nil
 }
 
 // Expand exposes the VExpand operator directly: reachability from sources

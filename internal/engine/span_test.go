@@ -19,7 +19,9 @@ func collectSpans(s *telemetry.SpanSnapshot, out map[string][]*telemetry.SpanSna
 // TestMatchSpanTree pins the tentpole tracing contract: a Match under a
 // trace emits one plan span, one expand span per pattern edge (annotated
 // with the kernel and memo state), one intersect span, and an aggregate
-// span — and the children's durations sum to no more than the root's.
+// span — and every child's window falls inside its parent's. (Sibling
+// durations may sum past the parent: the scheduler overlaps independent
+// expands, so the old sum-of-children check no longer holds.)
 func TestMatchSpanTree(t *testing.T) {
 	g := socialGraph(t)
 	e := New(g, Options{})
@@ -86,17 +88,20 @@ func TestMatchSpanTree(t *testing.T) {
 		t.Fatalf("memo hits = %d, misses = %d; want both > 0", hits, misses)
 	}
 
-	// Span durations must nest: direct children sum to at most the parent.
+	// Span windows must nest: every child starts no earlier and ends no
+	// later than its parent (small slack: start/end are captured on
+	// different goroutines under concurrent scheduling).
+	const slackNs = int64(2e6)
 	var checkNesting func(s *telemetry.SpanSnapshot)
 	checkNesting = func(s *telemetry.SpanSnapshot) {
-		var sum float64
 		for _, c := range s.Children {
-			sum += c.DurationMs
+			if c.StartUnixNs+slackNs < s.StartUnixNs {
+				t.Fatalf("span %q child %q starts %dns before parent", s.Name, c.Name, s.StartUnixNs-c.StartUnixNs)
+			}
+			if c.EndUnixNs() > s.EndUnixNs()+slackNs {
+				t.Fatalf("span %q child %q ends %dns after parent", s.Name, c.Name, c.EndUnixNs()-s.EndUnixNs())
+			}
 			checkNesting(c)
-		}
-		// Tiny float slack: children are timed independently of the parent.
-		if sum > s.DurationMs*1.01+0.1 {
-			t.Fatalf("span %q children sum %.3fms > own %.3fms", s.Name, sum, s.DurationMs)
 		}
 	}
 	checkNesting(snap)

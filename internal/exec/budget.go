@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrBudgetExceeded is wrapped by every failed Reserve; callers match it
+// with errors.Is to distinguish budget exhaustion from other failures.
+var ErrBudgetExceeded = errors.New("exec: memory budget exceeded")
+
+// Accountant meters the bytes of live query intermediates — reachability
+// matrices during expansion, cache residency, join-time clones, spill I/O
+// buffers — against one shared limit. A zero or negative limit meters
+// without enforcing, so InUse stays observable even on unbounded engines.
+//
+// The accounting is cooperative, not a hard allocator bound: operators
+// reserve their peak working set for the duration of one call and release
+// it on return, while the cache holds reservations for as long as entries
+// stay resident.
+type Accountant struct {
+	limit int64
+	used  atomic.Int64
+
+	// OnPressure, when set, is invoked with the shortfall whenever a
+	// reservation would exceed the limit, before the reservation is
+	// retried once. The engine hooks cache eviction here so cached
+	// matrices yield to live queries.
+	OnPressure func(need int64)
+}
+
+// NewAccountant returns an accountant with the given byte limit
+// (≤ 0 = unlimited).
+func NewAccountant(limit int64) *Accountant {
+	return &Accountant{limit: limit}
+}
+
+// Reserve claims n bytes, returning an error wrapping ErrBudgetExceeded
+// when the claim would exceed the limit even after OnPressure ran. Safe on
+// a nil accountant (no-op).
+func (a *Accountant) Reserve(n int64) error {
+	if a == nil || n <= 0 {
+		return nil
+	}
+	if a.tryReserve(n) {
+		return nil
+	}
+	if a.OnPressure != nil {
+		a.OnPressure(n)
+		if a.tryReserve(n) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: need %d bytes, %d of %d in use", ErrBudgetExceeded, n, a.used.Load(), a.limit)
+}
+
+// TryReserve claims n bytes without invoking OnPressure, reporting whether
+// the claim fit. The cache uses it while holding its own lock — OnPressure
+// re-enters the cache, so the pressure path must stay out of Put. Safe on a
+// nil accountant (always fits).
+func (a *Accountant) TryReserve(n int64) bool {
+	if a == nil || n <= 0 {
+		return true
+	}
+	return a.tryReserve(n)
+}
+
+func (a *Accountant) tryReserve(n int64) bool {
+	for {
+		cur := a.used.Load()
+		if a.limit > 0 && cur+n > a.limit {
+			return false
+		}
+		if a.used.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// Release returns n bytes to the budget. Safe on a nil accountant.
+func (a *Accountant) Release(n int64) {
+	if a == nil || n <= 0 {
+		return
+	}
+	if a.used.Add(-n) < 0 {
+		// Over-release indicates an accounting bug; clamp rather than let
+		// a negative balance silently widen the budget.
+		a.used.Store(0)
+	}
+}
+
+// InUse returns the bytes currently reserved.
+func (a *Accountant) InUse() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.used.Load()
+}
+
+// Limit returns the configured byte limit (≤ 0 = unlimited).
+func (a *Accountant) Limit() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.limit
+}

@@ -1,0 +1,274 @@
+package exec
+
+import (
+	"time"
+
+	"repro/internal/bitmatrix"
+	"repro/internal/graph"
+	"repro/internal/mintersect"
+	"repro/internal/pattern"
+	"repro/internal/telemetry"
+	"repro/internal/vexpand"
+)
+
+// ExpandOp computes one distinct reachability expansion. The planner may
+// map several pattern edges onto one ExpandOp (the §2.3.2 symmetry memo,
+// now a DAG-construction dedup): the first edge is the representative, the
+// rest are reported as memo=hit spans so EXPLAIN ANALYZE keeps one span
+// per pattern edge.
+type ExpandOp struct {
+	Graph   *graph.Graph
+	Sources []graph.VertexID
+	D       pattern.Determiner
+	Opts    vexpand.Options
+
+	// Cache, when non-nil, is consulted under Key before expanding and
+	// fed after (cross-query reuse).
+	Cache *MatrixCache
+	Key   CacheKey
+
+	// From is the pattern-vertex index the expansion starts from; Edges
+	// are the pattern-edge indices this operator serves (≥ 1, the
+	// representative first). Both are span annotations only.
+	From  int
+	Edges []int
+
+	// Result, CacheState ("hit"|"miss"|"off"), and Wall are set by Run.
+	// Wall is zero on a cache hit — no expansion work happened.
+	Result     *vexpand.Result
+	CacheState string
+	Wall       time.Duration
+}
+
+// Name implements Op.
+func (op *ExpandOp) Name() string { return "expand" }
+
+// Run implements Op: it answers from the cache or runs VExpand, then emits
+// one span per served pattern edge.
+func (op *ExpandOp) Run(qc *QueryContext) error {
+	if qc.activeExpands.Add(1) >= 2 {
+		telemetry.ExecParallelExpands.Inc()
+	}
+	defer qc.activeExpands.Add(-1)
+
+	ctx, sp := telemetry.StartSpan(qc.Context(), "expand")
+	sp.SetInt("from", int64(op.From))
+	sp.SetInt("edge", int64(op.Edges[0]))
+	sp.SetStr("memo", "miss")
+
+	if r, ok := op.Cache.Get(op.Key); ok {
+		op.Result = r
+		op.CacheState = "hit"
+		sp.SetStr("cache", "hit")
+		annotateShared(sp, r, op.Sources, op.D)
+		sp.End()
+		op.emitMemoSpans(qc)
+		return nil
+	}
+
+	if op.Cache != nil {
+		op.CacheState = "miss"
+		sp.SetStr("cache", "miss")
+	} else {
+		op.CacheState = "off"
+	}
+	t0 := time.Now()
+	r, err := vexpand.ExpandContext(ctx, op.Graph, op.Sources, op.D, op.Opts)
+	if err != nil {
+		sp.End()
+		return err
+	}
+	op.Wall = time.Since(t0)
+	op.Result = r
+	sp.End()
+	// Cached results are shared across queries and must stay immutable;
+	// the join assembly clones before AND-ing (copy-on-AND), so sharing
+	// the result as-is is safe.
+	op.Cache.Put(op.Key, r)
+	op.emitMemoSpans(qc)
+	return nil
+}
+
+// emitMemoSpans records one memo=hit span per extra pattern edge served by
+// this operator, preserving the one-span-per-edge contract of the serial
+// engine's symmetry memo.
+func (op *ExpandOp) emitMemoSpans(qc *QueryContext) {
+	for _, edge := range op.Edges[1:] {
+		_, sp := telemetry.StartSpan(qc.Context(), "expand")
+		sp.SetInt("from", int64(op.From))
+		sp.SetInt("edge", int64(edge))
+		sp.SetStr("memo", "hit")
+		annotateShared(sp, op.Result, op.Sources, op.D)
+		sp.End()
+	}
+}
+
+// annotateShared records the shape of a shared (memo- or cache-answered)
+// expansion on a span: the same vital signs a fresh expansion annotates,
+// minus per-step effort that never ran in this query.
+func annotateShared(sp *telemetry.Span, r *vexpand.Result, sources []graph.VertexID, d pattern.Determiner) {
+	if sp == nil {
+		return
+	}
+	sp.SetStr("kernel", r.Stats.Kernel.String())
+	sp.SetInt("sources", int64(len(sources)))
+	sp.SetInt("kmin", int64(d.KMin))
+	sp.SetInt("kmax", int64(d.KMax))
+	sp.SetInt("matrix_bytes", r.Stats.MatrixBytes)
+	// Guarded by the nil-span early return: the popcount scan only runs
+	// when a trace is active.
+	sp.SetInt("pairs", int64(r.PairCount()))
+}
+
+// JoinEdge ties one planned edge's join-order position pair to the
+// ExpandOp that computes its matrix.
+type JoinEdge struct {
+	EarlierPos, LaterPos int
+	Src                  *ExpandOp
+}
+
+// IntersectOp assembles the MIntersect input from its dependency ExpandOps
+// and runs the Generic Join. Parallel edges sharing one (earlier, later)
+// position pair AND into a private clone (copy-on-AND): single-use
+// matrices are shared with the expansion result — and possibly the cache —
+// without copying.
+type IntersectOp struct {
+	NumPatternVertices int
+	FirstCols          []graph.VertexID
+	RowCandidates      [][]graph.VertexID
+	Edges              []JoinEdge
+	Opts               mintersect.Options
+
+	// Result and Wall are set by Run.
+	Result *mintersect.Result
+	Wall   time.Duration
+}
+
+// Name implements Op.
+func (op *IntersectOp) Name() string { return "intersect" }
+
+// Run implements Op.
+func (op *IntersectOp) Run(qc *QueryContext) error {
+	in, cloned, err := op.assemble(qc)
+	if err != nil {
+		return err
+	}
+	defer qc.Budget().Release(cloned)
+	t0 := time.Now()
+	res, err := mintersect.RunContext(qc.Context(), in, op.Opts)
+	if err != nil {
+		return err
+	}
+	op.Wall = time.Since(t0)
+	op.Result = res
+	return nil
+}
+
+// Assemble builds the MIntersect input without running the join — the
+// streaming path (MatchForEach) drives mintersect.ForEach itself. The
+// caller must Release the returned clone bytes on qc's budget when the
+// join is done.
+func (op *IntersectOp) Assemble(qc *QueryContext) (*mintersect.Input, int64, error) {
+	return op.assemble(qc)
+}
+
+func (op *IntersectOp) assemble(qc *QueryContext) (*mintersect.Input, int64, error) {
+	type key struct{ earlier, later int }
+	matrices := make(map[key]*bitMatrix)
+	cloned := int64(0)
+	for _, je := range op.Edges {
+		r := je.Src.Result
+		k := key{je.EarlierPos, je.LaterPos}
+		if m, ok := matrices[k]; ok {
+			// Copy-on-AND: the slot's matrix is still the shared expansion
+			// result the first time a parallel edge ANDs into it — clone
+			// then, and only then.
+			if !m.owned {
+				size := int64(m.m.SizeBytes())
+				if err := qc.Budget().Reserve(size); err != nil {
+					return nil, cloned, err
+				}
+				cloned += size
+				m.m = m.m.Clone()
+				m.owned = true
+			}
+			m.m.And(r.Reach)
+		} else {
+			matrices[k] = &bitMatrix{m: r.Reach}
+		}
+	}
+
+	n := op.NumPatternVertices
+	in := &mintersect.Input{
+		NumPatternVertices: n,
+		FirstCols:          op.FirstCols,
+		RowCandidates:      op.RowCandidates,
+		Ext:                make([][]*mintersect.EdgeMatrix, n),
+	}
+	for k, m := range matrices {
+		em := &mintersect.EdgeMatrix{EarlierPos: k.earlier, M: m.m}
+		if k.earlier == 0 && k.later == 1 {
+			in.First = em
+		} else {
+			in.Ext[k.later] = append(in.Ext[k.later], em)
+		}
+	}
+	// Deterministic extension order (map iteration above is random).
+	for t := 2; t < n; t++ {
+		exts := in.Ext[t]
+		for i := 1; i < len(exts); i++ {
+			for j := i; j > 0 && exts[j].EarlierPos < exts[j-1].EarlierPos; j-- {
+				exts[j], exts[j-1] = exts[j-1], exts[j]
+			}
+		}
+	}
+	return in, cloned, nil
+}
+
+// bitMatrix tracks whether a join-input matrix is still the shared
+// expansion result (owned=false) or a private AND-accumulator clone.
+type bitMatrix struct {
+	m     *bitmatrix.Matrix
+	owned bool
+}
+
+// AggregateOp reorders join-order tuples back to pattern declaration
+// order — the final DAG node.
+type AggregateOp struct {
+	Intersect *IntersectOp
+	// Order maps join position → pattern-vertex index; N is the pattern
+	// vertex count.
+	Order     []int
+	N         int
+	CountOnly bool
+
+	// Tuples, Count, and Wall are set by Run.
+	Tuples [][]graph.VertexID
+	Count  int64
+	Wall   time.Duration
+}
+
+// Name implements Op.
+func (op *AggregateOp) Name() string { return "aggregate" }
+
+// Run implements Op.
+func (op *AggregateOp) Run(qc *QueryContext) error {
+	jr := op.Intersect.Result
+	t0 := time.Now()
+	_, sp := telemetry.StartSpan(qc.Context(), "aggregate")
+	op.Count = jr.Count
+	if !op.CountOnly {
+		op.Tuples = make([][]graph.VertexID, len(jr.Tuples))
+		for i, tup := range jr.Tuples {
+			out := make([]graph.VertexID, op.N)
+			for pos, v := range tup {
+				out[op.Order[pos]] = v
+			}
+			op.Tuples[i] = out
+		}
+	}
+	sp.SetInt("tuples", op.Count)
+	sp.End()
+	op.Wall = time.Since(t0)
+	return nil
+}

@@ -133,6 +133,7 @@ func (b *Builder) Build() (*Graph, error) {
 		props:      b.props,
 		edges:      make(map[string]*EdgeSet, len(b.edgeOrder)),
 		edgeOrder:  b.edgeOrder,
+		epoch:      nextEpoch.Add(1),
 	}
 	for _, label := range b.edgeOrder {
 		src, dst := b.edgeSrc[label], b.edgeDst[label]

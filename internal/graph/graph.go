@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitmatrix"
 	"repro/internal/hilbert"
@@ -275,11 +276,21 @@ type Graph struct {
 	props      map[string]Column
 	edges      map[string]*EdgeSet
 	edgeOrder  []string
+	epoch      uint64
 
 	idIndexOnce sync.Once
 	idIndex     map[string]map[int64]VertexID
 	idIndexMu   sync.Mutex
 }
+
+// nextEpoch numbers every Graph built in this process; see Epoch.
+var nextEpoch atomic.Uint64
+
+// Epoch is a process-unique identifier assigned when the graph is built.
+// Caches keyed on derived data (e.g. the engine's reachability-matrix
+// cache) include the epoch in their keys, so entries from a previously
+// loaded graph can never answer queries against a new one.
+func (g *Graph) Epoch() uint64 { return g.epoch }
 
 // NumVertices returns |V|.
 func (g *Graph) NumVertices() int { return g.n }

@@ -1,0 +1,112 @@
+package mintersect
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/vexpand"
+)
+
+// cancelInput builds a dense triangle-join input sized for cancellation
+// tests: big enough that the Generic Join runs for many extend calls.
+func cancelInput(t testing.TB, n, kmax int) func() *Input {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	b := graph.NewBuilder(n)
+	for i := 0; i < 6*n; i++ {
+		b.AddEdge("knows", uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aCands, bCands, cCands []graph.VertexID
+	for v := 0; v < n; v++ {
+		switch v % 3 {
+		case 0:
+			aCands = append(aCands, graph.VertexID(v))
+		case 1:
+			bCands = append(bCands, graph.VertexID(v))
+		case 2:
+			cCands = append(cCands, graph.VertexID(v))
+		}
+	}
+	d := pattern.Determiner{KMin: 1, KMax: kmax, Dir: graph.Both, Type: pattern.Any, EdgeLabels: []string{"knows"}}
+	expand := func(later []graph.VertexID) *vexpand.Result {
+		r, err := vexpand.Expand(g, later, d, vexpand.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	mAB := expand(bCands).Reach
+	mAC := expand(cCands).Reach
+	mBC := expand(cCands).Reach
+	return func() *Input {
+		return &Input{
+			NumPatternVertices: 3,
+			FirstCols:          aCands,
+			First:              &EdgeMatrix{EarlierPos: 0, M: mAB},
+			RowCandidates:      [][]graph.VertexID{nil, bCands, cCands},
+			Ext: [][]*EdgeMatrix{nil, nil, {
+				{EarlierPos: 0, M: mAC},
+				{EarlierPos: 1, M: mBC},
+			}},
+		}
+	}
+}
+
+// TestRunContextPreCanceled pins that a canceled context fails the join
+// before any seed extends, in both serial and partitioned execution and on
+// the streaming path.
+func TestRunContextPreCanceled(t *testing.T) {
+	mk := cancelInput(t, 420, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if _, err := RunContext(ctx, mk(), Options{Workers: workers}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: RunContext on canceled context = %v, want context.Canceled", workers, err)
+		}
+	}
+	err := ForEachContext(ctx, mk(), Options{}, func([]graph.VertexID) {
+		t.Fatal("canceled join delivered a tuple")
+	}, &Result{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEachContext on canceled context = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextCancelsMidIntersect cancels a long join shortly after it
+// starts and requires a prompt cooperative return — the extend hot path
+// polls the context every cancelCheckMask+1 calls, the seed loop every
+// seed. Run under -race this proves the cancellation path is race-free
+// across partition workers.
+func TestRunContextCancelsMidIntersect(t *testing.T) {
+	mk := cancelInput(t, 3600, 3)
+	t0 := time.Now()
+	if _, err := Run(mk(), Options{CountOnly: true, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(t0)
+	if full < 5*time.Millisecond {
+		t.Skipf("full join took only %v; too fast to cancel mid-run", full)
+	}
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithTimeout(context.Background(), full/20)
+		t1 := time.Now()
+		_, err := RunContext(ctx, mk(), Options{CountOnly: true, Workers: workers})
+		elapsed := time.Since(t1)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("workers=%d: mid-join cancel = %v, want context.DeadlineExceeded", workers, err)
+		}
+		if elapsed > full {
+			t.Fatalf("workers=%d: canceled join still took %v (full run: %v)", workers, elapsed, full)
+		}
+	}
+}

@@ -133,7 +133,7 @@ func Run(in *Input, opts Options) (*Result, error) {
 // seed pairs, column intersections, and tuples emitted.
 func RunContext(ctx context.Context, in *Input, opts Options) (*Result, error) {
 	_, sp := telemetry.StartSpan(ctx, "intersect")
-	res, err := run(in, opts)
+	res, err := run(ctx, in, opts)
 	if err == nil {
 		annotateSpan(sp, res, opts)
 	}
@@ -157,13 +157,13 @@ func annotateSpan(sp *telemetry.Span, res *Result, opts Options) {
 	sp.SetInt("intersections", res.Stats.Intersections)
 }
 
-func run(in *Input, opts Options) (*Result, error) {
+func run(ctx context.Context, in *Input, opts Options) (*Result, error) {
 	workers := opts.Workers
 	if workers > len(in.FirstCols) {
 		workers = len(in.FirstCols)
 	}
 	if workers <= 1 || opts.Limit > 0 {
-		return runSerial(in, opts)
+		return runSerial(ctx, in, opts)
 	}
 	if err := in.validate(); err != nil {
 		return nil, err
@@ -186,7 +186,7 @@ func run(in *Input, opts Options) (*Result, error) {
 			defer wg.Done()
 			sub := *in
 			sub.FirstCols = in.FirstCols[lo:hi]
-			parts[w], errs[w] = runSerial(&sub, Options{CountOnly: opts.CountOnly})
+			parts[w], errs[w] = runSerial(ctx, &sub, Options{CountOnly: opts.CountOnly})
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -206,9 +206,9 @@ func run(in *Input, opts Options) (*Result, error) {
 	return res, nil
 }
 
-func runSerial(in *Input, opts Options) (*Result, error) {
+func runSerial(ctx context.Context, in *Input, opts Options) (*Result, error) {
 	res := &Result{}
-	err := forEach(in, opts, func(tuple []graph.VertexID) {
+	err := forEach(ctx, in, opts, func(tuple []graph.VertexID) {
 		if !opts.CountOnly {
 			res.Tuples = append(res.Tuples, append([]graph.VertexID(nil), tuple...))
 		}
@@ -226,10 +226,12 @@ func ForEach(in *Input, opts Options, fn func(tuple []graph.VertexID), res *Resu
 	return ForEachContext(context.Background(), in, opts, fn, res)
 }
 
-// ForEachContext is ForEach with trace propagation (see RunContext).
+// ForEachContext is ForEach with trace propagation (see RunContext) and
+// cooperative cancellation: the join periodically observes ctx and returns
+// its error when canceled mid-enumeration.
 func ForEachContext(ctx context.Context, in *Input, opts Options, fn func(tuple []graph.VertexID), res *Result) error {
 	_, sp := telemetry.StartSpan(ctx, "intersect")
-	err := forEach(in, opts, fn, res)
+	err := forEach(ctx, in, opts, fn, res)
 	if err == nil {
 		annotateSpan(sp, res, opts)
 	}
@@ -237,11 +239,12 @@ func ForEachContext(ctx context.Context, in *Input, opts Options, fn func(tuple 
 	return err
 }
 
-func forEach(in *Input, opts Options, fn func(tuple []graph.VertexID), res *Result) error {
+func forEach(ctx context.Context, in *Input, opts Options, fn func(tuple []graph.VertexID), res *Result) error {
 	if err := in.validate(); err != nil {
 		return err
 	}
 	e := &executor{
+		ctx:   ctx,
 		in:    in,
 		opts:  opts,
 		fn:    fn,
@@ -266,7 +269,13 @@ func forEach(in *Input, opts Options, fn func(tuple []graph.VertexID), res *Resu
 	return e.run()
 }
 
+// cancelCheckMask gates how often extend polls the context: one check per
+// 1024 extension calls keeps the hot path branch-predictable while bounding
+// cancellation latency to ~1k column intersections.
+const cancelCheckMask = 1<<10 - 1
+
 type executor struct {
+	ctx      context.Context
 	in       *Input
 	opts     Options
 	fn       func([]graph.VertexID)
@@ -275,6 +284,10 @@ type executor struct {
 	rowIndex []map[graph.VertexID]int
 	scratch  [][]uint64
 	stopped  bool
+	// calls counts extend invocations for the periodic cancellation poll;
+	// err latches the context error that stopped the enumeration.
+	calls uint
+	err   error
 }
 
 func (e *executor) run() error {
@@ -283,6 +296,11 @@ func (e *executor) run() error {
 	n := e.in.NumPatternVertices
 	for _, c0 := range e.in.FirstCols {
 		if e.stopped {
+			break
+		}
+		// Per-seed cancellation checkpoint (the outer loop is cold).
+		if err := e.ctx.Err(); err != nil {
+			e.err = err
 			break
 		}
 		e.bound[0] = c0
@@ -310,7 +328,7 @@ func (e *executor) run() error {
 			e.extend(2)
 		})
 	}
-	return nil
+	return e.err
 }
 
 // extend binds join position t by intersecting the columns selected by the
@@ -318,6 +336,16 @@ func (e *executor) run() error {
 //
 //vs:hotpath
 func (e *executor) extend(t int) {
+	// Counter-gated cancellation poll: alloc-free and amortized to one
+	// ctx.Err() per cancelCheckMask+1 extension calls.
+	e.calls++
+	if e.calls&cancelCheckMask == 0 {
+		if err := e.ctx.Err(); err != nil {
+			e.err = err
+			e.stopped = true
+			return
+		}
+	}
 	n := e.in.NumPatternVertices
 	if t == n {
 		e.emit()

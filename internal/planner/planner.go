@@ -54,6 +54,55 @@ type Plan struct {
 // FirstEdge returns the planned edge joining positions 0 and 1.
 func (p *Plan) FirstEdge() *PlannedEdge { return &p.Edges[0] }
 
+// ExpandKey identifies the edge's expansion computation within one plan:
+// two planned edges with equal keys expand the same candidate set under
+// the same determiner and share one reachability matrix — the pattern-
+// symmetry optimization of §2.3.2. Every determiner field is spelled out
+// (Determiner.String omits EdgePropEq; fmt prints maps in sorted key
+// order).
+func (pe *PlannedEdge) ExpandKey() string {
+	return fmt.Sprintf("%d|%d|%d|%d|%d|%v|%v",
+		pe.ExpandFrom, pe.D.KMin, pe.D.KMax, pe.D.Dir, pe.D.Type, pe.D.EdgeLabels, pe.D.EdgePropEq)
+}
+
+// OpSpec describes one physical operator of the plan's DAG lowering.
+type OpSpec struct {
+	// Kind is "expand", "intersect", or "aggregate".
+	Kind string
+	// Edges lists the planned-edge indices the operator serves (expand
+	// operators only; the first entry is the representative whose
+	// expansion actually runs).
+	Edges []int
+	// Deps indexes earlier OpSpecs this operator depends on.
+	Deps []int
+}
+
+// Operators lowers the plan into its physical-operator DAG: one expand
+// operator per distinct ExpandKey (edges sharing a key collapse into one
+// operator), an intersect operator depending on every expand, and an
+// aggregate operator depending on the intersect. Expand operators carry no
+// dependencies on each other — the scheduler may run them concurrently.
+func (p *Plan) Operators() []OpSpec {
+	var ops []OpSpec
+	byKey := make(map[string]int, len(p.Edges))
+	for ei := range p.Edges {
+		k := p.Edges[ei].ExpandKey()
+		if oi, ok := byKey[k]; ok {
+			ops[oi].Edges = append(ops[oi].Edges, ei)
+			continue
+		}
+		byKey[k] = len(ops)
+		ops = append(ops, OpSpec{Kind: "expand", Edges: []int{ei}})
+	}
+	deps := make([]int, len(ops))
+	for i := range deps {
+		deps[i] = i
+	}
+	ops = append(ops, OpSpec{Kind: "intersect", Deps: deps})
+	ops = append(ops, OpSpec{Kind: "aggregate", Deps: []int{len(ops) - 1}})
+	return ops
+}
+
 // Build scans candidates and produces a plan for pat on g. The pattern
 // must be valid and connected.
 func Build(g *graph.Graph, pat *pattern.Pattern) (*Plan, error) {

@@ -20,6 +20,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -48,6 +49,12 @@ type Options struct {
 	SlowQuery time.Duration
 	// MaxRequestBytes bounds request bodies; 0 = DefaultMaxRequestBytes.
 	MaxRequestBytes int64
+	// QueryTimeout, when > 0, bounds every query's execution. The engine
+	// observes the deadline cooperatively (expand steps, intersect
+	// enumeration, spill I/O all checkpoint), so an exceeded deadline
+	// returns 504 with the in-flight gauge restored. Client disconnects
+	// cancel the same way regardless of this setting.
+	QueryTimeout time.Duration
 }
 
 // Server is an http.Handler serving VLGPM queries over one graph.
@@ -179,6 +186,22 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// queryErrorStatus maps a query execution error to its HTTP status: an
+// exceeded server-side deadline is 504 (the query was valid, the server
+// gave up), a canceled context is 499 (nginx's "client closed request" —
+// the client is gone, the status is for the access log), anything else is
+// a 422 query error.
+func queryErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -256,7 +279,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Trace when the client asked for a profile (JSON flag or PROFILE
 	// keyword) or when the slow-query log may need the span tree.
 	wantProfile := req.Profile || q.Profile
+	// r.Context() is canceled when the client disconnects, so an
+	// abandoned query stops consuming the engine; QueryTimeout adds a
+	// server-side deadline on top.
 	ctx := r.Context()
+	if s.opts.QueryTimeout > 0 {
+		var cancel func()
+		ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
+		defer cancel()
+	}
 	var root *telemetry.Span
 	if wantProfile || s.opts.SlowQuery > 0 {
 		ctx, root = telemetry.NewTrace(ctx, "query")
@@ -266,7 +297,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	wall := time.Since(start)
 	root.End()
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+		writeJSON(w, queryErrorStatus(err), errorResponse{err.Error()})
 		return
 	}
 
@@ -321,9 +352,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	// executes the query with tracing forced on and attaches the
 	// estimate-vs-actual operator table as structured JSON.
 	if req.Analyze || q.Analyze {
-		a, err := cypher.AnalyzeQuery(r.Context(), s.eng, q, req.Params)
+		ctx := r.Context()
+		if s.opts.QueryTimeout > 0 {
+			var cancel func()
+			ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
+			defer cancel()
+		}
+		a, err := cypher.AnalyzeQuery(ctx, s.eng, q, req.Params)
 		if err != nil {
-			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
+			writeJSON(w, queryErrorStatus(err), errorResponse{err.Error()})
 			return
 		}
 		resp.Analysis = a

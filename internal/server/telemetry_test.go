@@ -81,6 +81,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		`vs_query_stage_seconds_bucket{stage="total",le="+Inf"}`,
 		`vs_query_stage_seconds_count{stage="expand"}`,
 		`vs_query_stage_seconds_sum{stage="intersect"}`,
+		"# TYPE vs_matrix_cache_hits_total counter",
+		"# TYPE vs_matrix_cache_evictions_total counter",
+		"# TYPE vs_matrix_cache_bytes gauge",
+		"# TYPE vs_exec_parallel_expands counter",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q:\n%s", want, text)

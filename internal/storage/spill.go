@@ -19,11 +19,25 @@ import (
 type SpillManager struct {
 	dir string
 
+	// Budget, when set, meters the transient encode/decode buffers of
+	// spill writes and loads against a shared limit (reserved around each
+	// I/O, released before returning). Set it before first use; it is
+	// read without synchronization.
+	Budget Budget
+
 	mu      sync.Mutex
 	files   map[int]*os.File // worker -> spill file
 	next    int
 	handles map[int]spillRecord
 	bytes   int64
+}
+
+// Budget meters transient buffer memory against a shared limit. It is
+// satisfied by exec.Accountant; the interface is structural so storage (a
+// leaf package) never imports the execution layer.
+type Budget interface {
+	Reserve(n int64) error
+	Release(n int64)
 }
 
 type spillRecord struct {
@@ -82,6 +96,11 @@ func (s *SpillManager) Spill(worker int, m *bitmatrix.Matrix) (Handle, error) {
 // whether a new spill file was created. Spill byte/file totals always
 // accumulate into the telemetry registry.
 func (s *SpillManager) SpillContext(ctx context.Context, worker int, m *bitmatrix.Matrix) (Handle, error) {
+	// Cancellation checkpoint before touching the disk: a canceled query
+	// must not keep spilling steps it will never read back.
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	_, sp := telemetry.StartSpan(ctx, "spill.write")
 	defer sp.End()
 
@@ -109,6 +128,12 @@ func (s *SpillManager) SpillContext(ctx context.Context, worker int, m *bitmatri
 		return 0, fmt.Errorf("storage: %w", err)
 	}
 	words := m.Words()
+	if s.Budget != nil {
+		if err := s.Budget.Reserve(int64(len(words) * 8)); err != nil {
+			return 0, err
+		}
+		defer s.Budget.Release(int64(len(words) * 8))
+	}
 	buf := make([]byte, len(words)*8)
 	for i, w := range words {
 		binary.LittleEndian.PutUint64(buf[i*8:], w)
@@ -139,6 +164,9 @@ func (s *SpillManager) Load(h Handle) (*bitmatrix.Matrix, error) {
 // "spill.load" span with the bytes read. Read-back totals accumulate into
 // the telemetry registry.
 func (s *SpillManager) LoadContext(ctx context.Context, h Handle) (*bitmatrix.Matrix, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	_, sp := telemetry.StartSpan(ctx, "spill.load")
 	defer sp.End()
 
@@ -151,6 +179,12 @@ func (s *SpillManager) LoadContext(ctx context.Context, h Handle) (*bitmatrix.Ma
 	}
 	if f == nil {
 		return nil, fmt.Errorf("storage: spill file for worker %d already closed", rec.worker)
+	}
+	if s.Budget != nil {
+		if err := s.Budget.Reserve(rec.words * 8); err != nil {
+			return nil, err
+		}
+		defer s.Budget.Release(rec.words * 8)
 	}
 	buf := make([]byte, rec.words*8)
 	if _, err := f.ReadAt(buf, rec.offset); err != nil {

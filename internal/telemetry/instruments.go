@@ -32,6 +32,26 @@ var (
 		"Bytes read back from spill files.", nil)
 )
 
+// Engine-level matrix-cache and operator-scheduler instruments.
+var (
+	// MatrixCacheHits counts expansions answered by the engine-level
+	// reachability-matrix cache (cross-query reuse; the query-local
+	// symmetry memo reports separately as memo=hit spans).
+	MatrixCacheHits = Default.NewCounter("vs_matrix_cache_hits_total",
+		"Expansions answered by the engine-level reachability-matrix cache.", nil)
+	// MatrixCacheEvictions counts LRU evictions from the matrix cache.
+	MatrixCacheEvictions = Default.NewCounter("vs_matrix_cache_evictions_total",
+		"Reachability matrices evicted from the engine-level cache.", nil)
+	// MatrixCacheBytes gauges the cache's current resident bytes.
+	MatrixCacheBytes = Default.NewGauge("vs_matrix_cache_bytes",
+		"Bytes currently held by the engine-level reachability-matrix cache.", nil)
+	// ExecParallelExpands counts expand operators that started while
+	// another expand of the same query was already running — direct
+	// evidence of the scheduler overlapping independent VExpands.
+	ExecParallelExpands = Default.NewCounter("vs_exec_parallel_expands",
+		"Expand operators that ran concurrently with another expand of the same query.", nil)
+)
+
 // Per-stage latency histograms: one family, labeled by stage, matching the
 // engine.Timings breakdown (Figure 8's components).
 var (

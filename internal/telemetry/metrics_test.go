@@ -70,6 +70,10 @@ func TestExpositionFormat(t *testing.T) {
 		`vs_query_stage_seconds_bucket{stage="expand",le="+Inf"}`,
 		"vs_expand_matrix_bytes_total",
 		"vs_spill_write_bytes_total",
+		"# TYPE vs_matrix_cache_hits_total counter",
+		"# TYPE vs_matrix_cache_evictions_total counter",
+		"# TYPE vs_matrix_cache_bytes gauge",
+		"# TYPE vs_exec_parallel_expands counter",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)

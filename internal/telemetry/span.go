@@ -147,10 +147,29 @@ func (s *Span) Duration() time.Duration {
 // SpanSnapshot is an immutable, JSON-marshalable copy of a finished span
 // tree — the "profile" payload of PROFILE mode and POST /query.
 type SpanSnapshot struct {
-	Name       string          `json:"name"`
-	DurationMs float64         `json:"duration_ms"`
-	Attrs      map[string]any  `json:"attrs,omitempty"`
-	Children   []*SpanSnapshot `json:"children,omitempty"`
+	Name string `json:"name"`
+	// StartUnixNs is the span's start instant (Unix nanoseconds). With
+	// the scheduler running independent operators concurrently, sibling
+	// spans may overlap in [start, start+duration) — wall-clock nesting
+	// no longer implies sequential execution.
+	StartUnixNs int64           `json:"start_unix_ns,omitempty"`
+	DurationMs  float64         `json:"duration_ms"`
+	Attrs       map[string]any  `json:"attrs,omitempty"`
+	Children    []*SpanSnapshot `json:"children,omitempty"`
+}
+
+// EndUnixNs returns the span's end instant (Unix nanoseconds).
+func (sn *SpanSnapshot) EndUnixNs() int64 {
+	return sn.StartUnixNs + int64(sn.DurationMs*float64(time.Millisecond))
+}
+
+// Overlaps reports whether the two spans' [start, end) windows intersect —
+// the scheduler-concurrency check used by tests and EXPLAIN tooling.
+func (sn *SpanSnapshot) Overlaps(o *SpanSnapshot) bool {
+	if sn == nil || o == nil {
+		return false
+	}
+	return sn.StartUnixNs < o.EndUnixNs() && o.StartUnixNs < sn.EndUnixNs()
 }
 
 // Snapshot copies the span tree. Call only after the tree is complete
@@ -165,8 +184,9 @@ func (s *Span) Snapshot() *SpanSnapshot {
 		dur = time.Since(s.start)
 	}
 	sn := &SpanSnapshot{
-		Name:       s.name,
-		DurationMs: float64(dur) / float64(time.Millisecond),
+		Name:        s.name,
+		StartUnixNs: s.start.UnixNano(),
+		DurationMs:  float64(dur) / float64(time.Millisecond),
 	}
 	if s.nattrs > 0 {
 		sn.Attrs = make(map[string]any, s.nattrs)

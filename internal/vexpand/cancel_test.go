@@ -1,0 +1,152 @@
+package vexpand
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// cancelCases enumerates one determiner per cancellation checkpoint: the
+// matrix kernels' per-step check and the BFS kernel's per-row/per-step
+// worker checks.
+func cancelCases() []struct {
+	name   string
+	kernel Kernel
+	d      pattern.Determiner
+} {
+	return []struct {
+		name   string
+		kernel Kernel
+		d      pattern.Determiner
+	}{
+		{"matrix", Prefetch, pattern.Determiner{KMin: 1, KMax: 6, Dir: graph.Both, Type: pattern.Any, EdgeLabels: []string{"knows"}}},
+		{"bfs", BFS, pattern.Determiner{KMin: 1, KMax: 6, Dir: graph.Both, Type: pattern.Shortest, EdgeLabels: []string{"knows"}}},
+	}
+}
+
+// TestExpandContextPreCanceled pins that a canceled context fails the
+// expansion before any step runs, on every kernel family.
+func TestExpandContextPreCanceled(t *testing.T) {
+	ensureParallel(t)
+	g := raceGraph(t, 1400, 7000)
+	sources := make([]graph.VertexID, 1152)
+	for i := range sources {
+		sources[i] = graph.VertexID(i)
+	}
+	for _, tc := range cancelCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, err := ExpandContext(ctx, g, sources, tc.d, Options{Kernel: tc.kernel, Workers: 4})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("ExpandContext on canceled context = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestExpandContextCancelsMidExpand cancels a deliberately large expansion
+// shortly after it starts and requires a prompt cooperative return — the
+// step loops and BFS workers poll the context. Run under -race this also
+// proves the cancellation paths are data-race-free.
+func TestExpandContextCancelsMidExpand(t *testing.T) {
+	ensureParallel(t)
+	g := raceGraph(t, 4000, 60000)
+	sources := make([]graph.VertexID, 1536)
+	for i := range sources {
+		sources[i] = graph.VertexID(i)
+	}
+	for _, tc := range cancelCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			// Calibrate: the uncancelled expansion must be slow enough that
+			// a cancellation a fraction in lands mid-run.
+			t0 := time.Now()
+			if _, err := Expand(g, sources, tc.d, Options{Kernel: tc.kernel, Workers: 4}); err != nil {
+				t.Fatal(err)
+			}
+			full := time.Since(t0)
+			if full < 5*time.Millisecond {
+				t.Skipf("full expansion took only %v; too fast to cancel mid-run", full)
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), full/20)
+			defer cancel()
+			t1 := time.Now()
+			_, err := ExpandContext(ctx, g, sources, tc.d, Options{Kernel: tc.kernel, Workers: 4})
+			elapsed := time.Since(t1)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("mid-expand cancel = %v, want context.DeadlineExceeded", err)
+			}
+			// "Prompt" = well before the full runtime (one step of slack).
+			if elapsed > full {
+				t.Fatalf("canceled expansion still took %v (full run: %v)", elapsed, full)
+			}
+		})
+	}
+}
+
+// failingBudget refuses every reservation past a threshold.
+type failingBudget struct {
+	limit, used int64
+}
+
+func (b *failingBudget) Reserve(n int64) error {
+	if b.used+n > b.limit {
+		return fmt.Errorf("test budget exceeded: %d + %d > %d", b.used, n, b.limit)
+	}
+	b.used += n
+	return nil
+}
+
+func (b *failingBudget) Release(n int64) { b.used -= n }
+
+// TestExpandBudgetReserveAndRelease pins the memory-accounting contract:
+// expansions reserve their matrix bytes against Options.Budget and release
+// everything on return, success or failure.
+func TestExpandBudgetReserveAndRelease(t *testing.T) {
+	g := raceGraph(t, 1400, 7000)
+	sources := make([]graph.VertexID, 600)
+	for i := range sources {
+		sources[i] = graph.VertexID(i)
+	}
+	d := pattern.Determiner{KMin: 1, KMax: 3, Dir: graph.Both, Type: pattern.Any, EdgeLabels: []string{"knows"}}
+
+	// Generous budget: expansion succeeds and the balance returns to zero.
+	b := &failingBudget{limit: 1 << 30}
+	r, err := Expand(g, sources, d, Options{Kernel: Prefetch, Workers: 2, Budget: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.MatrixBytes <= 0 {
+		t.Fatal("no matrix bytes reported")
+	}
+	if b.used != 0 {
+		t.Fatalf("budget not fully released after success: %d bytes held", b.used)
+	}
+
+	// A budget smaller than one result matrix fails the expansion cleanly
+	// and leaves nothing reserved.
+	tight := &failingBudget{limit: 64}
+	_, err = Expand(g, sources, d, Options{Kernel: Prefetch, Workers: 2, Budget: tight})
+	if err == nil {
+		t.Fatal("64-byte budget accepted a full expansion")
+	}
+	if tight.used != 0 {
+		t.Fatalf("failed expansion leaked %d reserved bytes", tight.used)
+	}
+
+	// BFS kernel follows the same contract.
+	dShort := pattern.Determiner{KMin: 1, KMax: 3, Dir: graph.Both, Type: pattern.Shortest, EdgeLabels: []string{"knows"}}
+	b2 := &failingBudget{limit: 1 << 30}
+	if _, err := Expand(g, sources, dShort, Options{Kernel: BFS, Workers: 2, Budget: b2}); err != nil {
+		t.Fatal(err)
+	}
+	if b2.used != 0 {
+		t.Fatalf("BFS budget not fully released: %d bytes held", b2.used)
+	}
+}

@@ -32,6 +32,17 @@ import (
 // paper reports (§4.2).
 const DefaultLookahead = 20
 
+// Budget meters bit-matrix memory against a shared limit. It is satisfied
+// by exec.Accountant; the interface is structural so vexpand (a leaf
+// operator package) never imports the execution layer.
+type Budget interface {
+	// Reserve claims n bytes, returning an error when the limit cannot be
+	// met even after pressure relief.
+	Reserve(n int64) error
+	// Release returns n previously reserved bytes.
+	Release(n int64)
+}
+
 // Options configures a VExpand invocation.
 type Options struct {
 	// Kernel selects the expand kernel; Auto (the zero value) chooses
@@ -55,6 +66,12 @@ type Options struct {
 	// retaining it in memory (§5.3: intermediate results on disk).
 	// Iterate memory-boundedly with Result.ForEachStep.
 	Spill *storage.SpillManager
+	// Budget, when set, meters the expansion's matrix allocations (the
+	// working frontiers, the reachability matrix, retained per-step
+	// clones) against a shared limit. The reservation is released when
+	// the expansion returns: the budget bounds in-flight expansion
+	// memory, so concurrent expansions compete for it.
+	Budget Budget
 	// DetectFixpoint stops an ANY expansion early when the frontier
 	// matrix reaches a fixpoint (M(c+1) == M(c)): every further step
 	// would reproduce the same matrix, so its contribution folds in at
@@ -288,6 +305,8 @@ type expansion struct {
 	sets    []*graph.EdgeSet
 	opts    Options
 	kernel  Kernel
+	// reserved tracks bytes claimed on opts.Budget, released at return.
+	reserved int64
 }
 
 func (e *expansion) maxSteps() int {
@@ -314,6 +333,27 @@ func (e *expansion) lookahead() int {
 	return DefaultLookahead
 }
 
+// reserve claims n bytes on the expansion's budget (no-op without one)
+// and tracks the total for releaseAll.
+func (e *expansion) reserve(n int64) error {
+	if e.opts.Budget == nil || n <= 0 {
+		return nil
+	}
+	if err := e.opts.Budget.Reserve(n); err != nil {
+		return err
+	}
+	e.reserved += n
+	return nil
+}
+
+// releaseAll returns every byte this expansion reserved.
+func (e *expansion) releaseAll() {
+	if e.opts.Budget != nil && e.reserved > 0 {
+		e.opts.Budget.Release(e.reserved)
+		e.reserved = 0
+	}
+}
+
 // runMatrix executes the stacked-columnar (or straw-man row-major) kernels.
 func (e *expansion) runMatrix() (*Result, error) {
 	n := e.g.NumVertices()
@@ -326,6 +366,7 @@ func (e *expansion) runMatrix() (*Result, error) {
 	if rows == 0 {
 		return res, nil
 	}
+	defer e.releaseAll()
 
 	cur := bitmatrix.New(rows, n)
 	next := bitmatrix.New(rows, n)
@@ -368,8 +409,17 @@ func (e *expansion) runMatrix() (*Result, error) {
 		res.Stats.MatrixBytes = 2 * int64(len(rowCur.words)) * 8
 	}
 
+	if err := e.reserve(res.Stats.MatrixBytes); err != nil {
+		return nil, err
+	}
+
 	maxSteps := e.maxSteps()
 	for step := 1; step <= maxSteps; step++ {
+		// Cooperative cancellation checkpoint: one check per expand step
+		// (each step is a full edge-list pass, so the check is amortized).
+		if err := e.ctx.Err(); err != nil {
+			return nil, err
+		}
 		t0 := time.Now()
 		if e.kernel == Strawman {
 			rowNext.reset()
@@ -417,6 +467,9 @@ func (e *expansion) runMatrix() (*Result, error) {
 				res.spill = e.opts.Spill
 				res.spillHandles = append(res.spillHandles, h)
 			} else {
+				if err := e.reserve(int64(next.SizeBytes())); err != nil {
+					return nil, err
+				}
 				res.PerStep = append(res.PerStep, next.Clone())
 			}
 		}
@@ -517,6 +570,10 @@ func (e *expansion) runBFS() (*Result, error) {
 	if rows == 0 {
 		return res, nil
 	}
+	defer e.releaseAll()
+	if err := e.reserve(int64(res.Reach.SizeBytes())); err != nil {
+		return nil, err
+	}
 	maxSteps := e.maxSteps()
 	if e.opts.KeepPerStep {
 		// The BFS kernel records sparse per-row distances rather than
@@ -582,6 +639,12 @@ func (e *expansion) runBFS() (*Result, error) {
 			markSource := e.d.Type == pattern.Shortest
 			st := &stats[w]
 			for r := lo; r < hi; r++ {
+				// Cooperative cancellation: workers cannot return errors,
+				// so they drain quietly and runBFS reports ctx.Err() after
+				// the join below.
+				if e.ctx.Err() != nil {
+					return
+				}
 				rowSteps := 0
 				frontier.Reset()
 				frontier.Set(int(e.sources[r]))
@@ -595,6 +658,9 @@ func (e *expansion) runBFS() (*Result, error) {
 					res.Reach.Set(r, int(e.sources[r]))
 				}
 				for step := 1; step <= maxSteps; step++ {
+					if e.ctx.Err() != nil {
+						return
+					}
 					t0 := time.Now()
 					nextFrontier.Reset()
 					frontier.ForEach(func(v int) {
@@ -636,6 +702,9 @@ func (e *expansion) runBFS() (*Result, error) {
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if err := e.ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, st := range stats {
 		if st.steps > res.Stats.Steps {
 			res.Stats.Steps = st.steps

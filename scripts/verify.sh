@@ -82,6 +82,36 @@ if [ -z "${SKIP_SMOKE:-}" ]; then
         || { echo "vs_queries_total did not reach 1:" >&2; echo "$metrics" | grep vs_queries >&2; exit 1; }
     echo "$metrics" | grep -q 'vs_query_stage_seconds_count{stage="total"} 1' \
         || { echo "stage histogram missing:" >&2; echo "$metrics" | grep stage >&2; exit 1; }
+
+    # Repeating the query must hit the engine-level matrix cache (vsserve
+    # enables it by default).
+    curl -fsS "http://$hostport/query" \
+        -d '{"query":"MATCH (p:SIGA)-[:knows*1..2]-(q:SIGB) RETURN COUNT(DISTINCT p,q)"}' >/dev/null
+    hits="$(curl -fsS "http://$hostport/metrics" | sed -n 's/^vs_matrix_cache_hits_total //p')"
+    [ -n "$hits" ] && [ "$hits" -ge 1 ] \
+        || { echo "repeated query produced no matrix-cache hits (vs_matrix_cache_hits_total=$hits)" >&2; exit 1; }
+
+    step "vsserve -query-timeout smoke (expired deadline returns 504)"
+    "$smokedir/vsserve" -data "$smokedir/graph" -addr 127.0.0.1:0 -access-log=false \
+        -query-timeout 1ns > "$smokedir/stdout2" 2> "$smokedir/stderr2" &
+    timeoutpid=$!
+    cleanup2() {
+        kill "$timeoutpid" 2>/dev/null || true
+        cleanup
+    }
+    trap cleanup2 EXIT
+    hostport2=""
+    for _ in $(seq 1 50); do
+        hostport2="$(sed -n 's/^serving .* on //p' "$smokedir/stdout2")"
+        [ -n "$hostport2" ] && break
+        kill -0 "$timeoutpid" 2>/dev/null || { cat "$smokedir/stderr2" >&2; echo "vsserve (timeout) exited early" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$hostport2" ] || { echo "vsserve (timeout) never announced its address" >&2; exit 1; }
+    status="$(curl -s -o /dev/null -w '%{http_code}' "http://$hostport2/query" \
+        -d '{"query":"MATCH (p:SIGA)-[:knows*1..2]-(q:SIGB) RETURN COUNT(DISTINCT p,q)"}')"
+    [ "$status" = "504" ] \
+        || { echo "-query-timeout 1ns returned HTTP $status, want 504" >&2; exit 1; }
 fi
 
 if [ -z "${SKIP_BENCH:-}" ]; then
@@ -102,6 +132,13 @@ if [ -z "${SKIP_BENCH:-}" ]; then
     go run ./cmd/vsbench -exp fig9 -scale 0.02 -json "$benchout"
     go run ./scripts/benchdiff.go -tolerance "${BENCH_TOLERANCE:-400}" \
         "$benchout/BENCH_fig9_0.02.json" bench/baseline.json
+
+    step "bench cache gate (repeated-query cache hits vs bench/baseline_cache.json)"
+    # The cache experiment fails outright if warm runs stop hitting the
+    # engine cache; the benchdiff compares warm (cache-hit) latencies.
+    go run ./cmd/vsbench -exp cache -scale 0.02 -json "$benchout"
+    go run ./scripts/benchdiff.go -tolerance "${BENCH_TOLERANCE:-400}" \
+        "$benchout/BENCH_cache_0.02.json" bench/baseline_cache.json
     [ -n "$keep_bench" ] || rm -rf "$benchout"
 fi
 

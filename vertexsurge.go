@@ -114,12 +114,27 @@ const (
 	KernelBFS         = vexpand.BFS
 )
 
+// DefaultCacheBytes is the reachability-matrix cache size a DB enables by
+// default (see Options.CacheBytes).
+const DefaultCacheBytes = engine.DefaultCacheBytes
+
 // Options configures a DB.
 type Options struct {
-	// Workers bounds intra-query parallelism; 0 = GOMAXPROCS.
+	// Workers bounds intra-query parallelism; 0 = GOMAXPROCS. Independent
+	// expansions of one query are also scheduled concurrently within this
+	// bound.
 	Workers int
 	// Kernel pins the VExpand kernel; KernelAuto by default.
 	Kernel Kernel
+	// CacheBytes bounds the engine-level reachability-matrix cache that
+	// answers repeated expansions across queries. 0 means DefaultCacheBytes
+	// (the cache is ON by default at this layer — a production DB serves
+	// repeated query shapes); < 0 disables it.
+	CacheBytes int64
+	// MemoryBudget caps live intermediate bytes (matrices under expansion,
+	// cache residency, join-time clones) across all concurrent queries.
+	// 0 = unlimited.
+	MemoryBudget int64
 }
 
 // DB is a read-only VLGPM query engine over one graph.
@@ -133,7 +148,19 @@ func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
 
 // FromGraph wraps an already-built graph in a DB.
 func FromGraph(g *Graph, opts Options) *DB {
-	return &DB{g: g, eng: engine.New(g, engine.Options{Workers: opts.Workers, Kernel: opts.Kernel})}
+	cache := opts.CacheBytes
+	switch {
+	case cache == 0:
+		cache = DefaultCacheBytes
+	case cache < 0:
+		cache = 0 // engine.Options semantics: 0 disables
+	}
+	return &DB{g: g, eng: engine.New(g, engine.Options{
+		Workers:      opts.Workers,
+		Kernel:       opts.Kernel,
+		CacheBytes:   cache,
+		MemoryBudget: opts.MemoryBudget,
+	})}
 }
 
 // Open loads a graph from its on-disk columnar directory (§5.3 format).
