@@ -5,12 +5,30 @@
 // Usage:
 //
 //	go run ./cmd/vslint ./...
-//	go run ./cmd/vslint ./internal/storage ./internal/vexpand/...
+//	go run ./cmd/vslint -format github ./internal/storage
+//	go run ./cmd/vslint -compiler -json ./...
+//	go run ./cmd/vslint -compiler -write-baseline ./...
 //
-// Exit status is 1 when any finding survives //vs:nolint suppression.
+// Modes:
+//
+//	-list           list analyzers and exit
+//	-json           machine-readable output (findings + compiler report)
+//	-format github  ::error/::notice workflow annotations instead of text
+//	-compiler       additionally run the compiler-feedback gate: rebuild
+//	                with -gcflags='-m=1 -d=ssa/check_bce/debug=1' and fail
+//	                on heap escapes or bounds checks inside //vs:hotpath
+//	                functions beyond the checked-in baseline
+//	-baseline       baseline path (default bench/vslint_baseline.json)
+//	-write-baseline rewrite the baseline from this run instead of diffing
+//	-tolerance      allowed per-function count increase before failing
+//
+// Exit status is 1 when any error-severity finding survives //vs:nolint
+// suppression or the compiler gate regresses; info-severity findings are
+// printed but do not fail the run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,10 +38,34 @@ import (
 	"repro/internal/vslint"
 )
 
+// jsonFinding is the machine-readable shape of one finding.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Severity string `json:"severity"`
+}
+
+// jsonOutput is the top-level -json document.
+type jsonOutput struct {
+	Findings []jsonFinding          `json:"findings"`
+	Compiler *vslint.CompilerReport `json:"compiler,omitempty"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON on stdout")
+	format := flag.String("format", "text", "finding output format: text or github")
+	compiler := flag.Bool("compiler", false, "also run the compiler-feedback gate over //vs:hotpath functions")
+	baseline := flag.String("baseline", "bench/vslint_baseline.json", "compiler-gate baseline, relative to the module root")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the compiler-gate baseline from this run")
+	tolerance := flag.Int("tolerance", 0, "allowed per-function diagnostic-count increase before the compiler gate fails")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: vslint [-list] [packages]\n\npackages default to ./...\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: vslint [flags] [packages]\n\npackages default to ./...\n\nflags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, "\nanalyzers:\n")
 		for _, a := range vslint.All() {
 			fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, a.Doc)
 		}
@@ -34,6 +76,10 @@ func main() {
 			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *format != "text" && *format != "github" {
+		fmt.Fprintf(os.Stderr, "vslint: unknown -format %q (want text or github)\n", *format)
+		os.Exit(2)
 	}
 
 	cwd, err := os.Getwd()
@@ -53,16 +99,95 @@ func main() {
 		fatal(err)
 	}
 
-	total := 0
+	var findings []vslint.Finding
 	for _, pkg := range pkgs {
-		for _, f := range vslint.CheckPackage(pkg, vslint.All()) {
-			total++
-			fmt.Printf("%s:%d:%d: [%s] %s\n", relPath(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		findings = append(findings, vslint.CheckPackage(pkg, vslint.All())...)
+	}
+
+	out := jsonOutput{Findings: []jsonFinding{}}
+	errors := 0
+	for _, f := range findings {
+		if f.Severity != vslint.SeverityInfo {
+			errors++
+		}
+		out.Findings = append(out.Findings, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     relPath(cwd, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Message:  f.Message,
+			Severity: f.Severity,
+		})
+		if !*jsonOut {
+			printFinding(*format, out.Findings[len(out.Findings)-1])
 		}
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "vslint: %d finding(s)\n", total)
+
+	regressions := 0
+	if *compiler {
+		report, err := vslint.RunCompilerGate(mod)
+		if err != nil {
+			fatal(err)
+		}
+		out.Compiler = report
+		basePath := *baseline
+		if !filepath.IsAbs(basePath) {
+			basePath = filepath.Join(root, basePath)
+		}
+		if *writeBaseline {
+			if err := vslint.WriteCompilerBaseline(basePath, report); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "vslint: wrote %s (%d hotpath functions)\n", relPath(cwd, basePath), len(report.Functions))
+		} else {
+			base, err := vslint.ReadCompilerBaseline(basePath)
+			if err != nil {
+				fatal(fmt.Errorf("vslint: %w (run with -write-baseline to create it)", err))
+			}
+			diffOut := os.Stderr
+			regressions = vslint.DiffCompilerBaseline(report, base, *tolerance, diffOut)
+			if *format == "github" && regressions > 0 {
+				for _, d := range report.Diags {
+					fmt.Printf("::error file=%s,line=%d,col=%d::[vslint-compiler] %s (%s)\n", d.File, d.Line, d.Col, d.Message, d.Kind)
+				}
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&out); err != nil {
+			fatal(err)
+		}
+	}
+
+	if errors > 0 {
+		fmt.Fprintf(os.Stderr, "vslint: %d finding(s)\n", errors)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "vslint: compiler gate: %d hotpath function(s) regressed\n", regressions)
+	}
+	if errors > 0 || regressions > 0 {
 		os.Exit(1)
+	}
+}
+
+// printFinding renders one finding in the selected format.
+func printFinding(format string, f jsonFinding) {
+	switch format {
+	case "github":
+		level := "error"
+		if f.Severity == vslint.SeverityInfo {
+			level = "notice"
+		}
+		fmt.Printf("::%s file=%s,line=%d,col=%d::[%s] %s\n", level, f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	default:
+		suffix := ""
+		if f.Severity == vslint.SeverityInfo {
+			suffix = " (advisory)"
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s%s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message, suffix)
 	}
 }
 

@@ -78,10 +78,27 @@ func (m *Matrix) columnBase(stack, c int) int {
 }
 
 // ColumnWords returns the eight words of column c within stack s as a
-// mutable slice view.
+// mutable slice view, or nil when (stack, c) is out of range. The
+// explicit range guard (rather than letting the slice expression panic)
+// is what lets the compiler's prove pass drop the bounds checks both here
+// and in callers that index the fixed-length result — the kernels branch
+// on len() once instead of paying a check per word.
 func (m *Matrix) ColumnWords(stack, c int) []uint64 {
+	// Single load of the field: prove cannot connect a guard on
+	// len(m.words) to a later reload of m.words, a local can. The
+	// `base > len(w)-WordsPerColumn` form is overflow-safe, which the
+	// additive form is not — prove rejects guards that could wrap.
+	w := m.words
 	base := m.columnBase(stack, c)
-	return m.words[base : base+WordsPerColumn : base+WordsPerColumn]
+	// hi is computed once so the guard compares the exact SSA values the
+	// slice expression uses; the cap clause looks redundant (words is made
+	// with len == cap) but the expression is checked against cap, and for
+	// a heap-loaded slice header prove has no len <= cap fact to lean on.
+	hi := base + WordsPerColumn
+	if base < 0 || hi < base || hi > len(w) || hi > cap(w) {
+		return nil
+	}
+	return w[base:hi:hi]
 }
 
 // Set sets bit (r, c) to 1.
@@ -90,7 +107,12 @@ func (m *Matrix) ColumnWords(stack, c int) []uint64 {
 func (m *Matrix) Set(r, c int) {
 	m.boundsCheck(r, c)
 	stack, off := r/StackRows, r%StackRows
-	m.words[m.columnBase(stack, c)+off/64] |= 1 << uint(off%64)
+	// The uint guard restates what boundsCheck already proved in a form
+	// the SSA prove pass can consume, eliminating the bounds check.
+	w := m.words
+	if i := m.columnBase(stack, c) + off/64; uint(i) < uint(len(w)) {
+		w[i] |= 1 << uint(off%64)
+	}
 }
 
 // Clear sets bit (r, c) to 0.
@@ -120,9 +142,13 @@ func (m *Matrix) boundsCheck(r, c int) {
 //
 //vs:hotpath
 func (m *Matrix) OrColumnFrom(src *Matrix, stack, srcCol, dstCol int) {
-	d := m.words[m.columnBase(stack, dstCol):]
-	s := src.words[src.columnBase(stack, srcCol):]
+	d := m.ColumnWords(stack, dstCol)
+	s := src.ColumnWords(stack, srcCol)
+	if len(d) < WordsPerColumn || len(s) < WordsPerColumn {
+		return // out-of-range column: caller bug, but keep the kernel branch-only
+	}
 	// Eight explicit word ORs: the stand-in for a single VPORD on AVX-512.
+	// After the len guard the constant indices are provably in range.
 	d[0] |= s[0]
 	d[1] |= s[1]
 	d[2] |= s[2]
@@ -139,7 +165,11 @@ func (m *Matrix) OrColumnFrom(src *Matrix, stack, srcCol, dstCol int) {
 //
 //vs:hotpath
 func (m *Matrix) TouchColumn(stack, c int) uint64 {
-	return m.words[m.columnBase(stack, c)]
+	w := m.words
+	if i := m.columnBase(stack, c); uint(i) < uint(len(w)) {
+		return w[i]
+	}
+	return 0
 }
 
 // Or computes m |= other element-wise. The matrices must have identical
@@ -148,8 +178,15 @@ func (m *Matrix) TouchColumn(stack, c int) uint64 {
 //vs:hotpath
 func (m *Matrix) Or(other *Matrix) {
 	m.dimCheck(other)
-	for i, w := range other.words {
-		m.words[i] |= w
+	// dimCheck makes the slices equal length; restating that as a branch
+	// is what lets the prove pass drop the per-word bounds check (a
+	// conditional reslice does not survive the phi merge).
+	a, b := m.words, other.words
+	if len(a) != len(b) {
+		return
+	}
+	for i, w := range b {
+		a[i] |= w
 	}
 }
 
@@ -158,8 +195,12 @@ func (m *Matrix) Or(other *Matrix) {
 //vs:hotpath
 func (m *Matrix) And(other *Matrix) {
 	m.dimCheck(other)
-	for i, w := range other.words {
-		m.words[i] &= w
+	a, b := m.words, other.words
+	if len(a) != len(b) {
+		return
+	}
+	for i, w := range b {
+		a[i] &= w
 	}
 }
 
@@ -169,8 +210,12 @@ func (m *Matrix) And(other *Matrix) {
 //vs:hotpath
 func (m *Matrix) AndNot(other *Matrix) {
 	m.dimCheck(other)
-	for i, w := range other.words {
-		m.words[i] &^= w
+	a, b := m.words, other.words
+	if len(a) != len(b) {
+		return
+	}
+	for i, w := range b {
+		a[i] &^= w
 	}
 }
 
@@ -179,8 +224,12 @@ func (m *Matrix) AndNot(other *Matrix) {
 //vs:hotpath
 func (m *Matrix) Xor(other *Matrix) {
 	m.dimCheck(other)
-	for i, w := range other.words {
-		m.words[i] ^= w
+	a, b := m.words, other.words
+	if len(a) != len(b) {
+		return
+	}
+	for i, w := range b {
+		a[i] ^= w
 	}
 }
 

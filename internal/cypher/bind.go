@@ -71,6 +71,9 @@ func RunContext(ctx context.Context, eng *engine.Engine, q *Query, params map[st
 	res, err := runAll(ctx, eng, q, params)
 	if err != nil {
 		telemetry.QueriesFailed.Inc()
+		// End the profiling root on the failure path too: leaving it open
+		// would wedge the trace tree for the next query on this context.
+		root.End()
 		return nil, err
 	}
 	if root != nil {

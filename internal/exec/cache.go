@@ -81,6 +81,8 @@ func NewMatrixCache(limit int64, acct *Accountant) *MatrixCache {
 
 // Get returns the cached result for k, marking it most recently used.
 // Safe on a nil cache.
+//
+//vs:hotpath
 func (c *MatrixCache) Get(k CacheKey) (*vexpand.Result, bool) {
 	if c == nil {
 		return nil, false

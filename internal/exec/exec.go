@@ -22,7 +22,7 @@ import (
 // the context (deadline, cancellation, telemetry trace), the shared memory
 // accountant, and the scheduler's worker bound.
 type QueryContext struct {
-	ctx     context.Context
+	ctx     context.Context //vs:nolint(ctx-propagation) QueryContext IS the sanctioned per-query carrier; operators receive it as a parameter
 	budget  *Accountant
 	workers int
 

@@ -180,19 +180,11 @@ func (op *IntersectOp) assemble(qc *QueryContext) (*mintersect.Input, int64, err
 		r := je.Src.Result
 		k := key{je.EarlierPos, je.LaterPos}
 		if m, ok := matrices[k]; ok {
-			// Copy-on-AND: the slot's matrix is still the shared expansion
-			// result the first time a parallel edge ANDs into it — clone
-			// then, and only then.
-			if !m.owned {
-				size := int64(m.m.SizeBytes())
-				if err := qc.Budget().Reserve(size); err != nil {
-					return nil, cloned, err
-				}
-				cloned += size
-				m.m = m.m.Clone()
-				m.owned = true
+			n, err := m.andShared(r.Reach, qc.Budget())
+			cloned += n
+			if err != nil {
+				return nil, cloned, err
 			}
-			m.m.And(r.Reach)
 		} else {
 			matrices[k] = &bitMatrix{m: r.Reach}
 		}
@@ -230,6 +222,41 @@ func (op *IntersectOp) assemble(qc *QueryContext) (*mintersect.Input, int64, err
 type bitMatrix struct {
 	m     *bitmatrix.Matrix
 	owned bool
+}
+
+// andShared ANDs other into the slot's matrix. Copy-on-AND: the slot is
+// still the shared expansion result the first time a parallel edge ANDs
+// into it — clone then, and only then, reserving the clone's bytes on
+// budget. Returns the bytes newly reserved (0 when already owned); the
+// caller releases them when the join finishes.
+//
+//vs:hotpath
+func (m *bitMatrix) andShared(other *bitmatrix.Matrix, budget *Accountant) (int64, error) {
+	var cloned int64
+	if !m.owned {
+		n, err := m.promote(budget)
+		if err != nil {
+			return 0, err
+		}
+		cloned = n
+	}
+	m.m.And(other)
+	return cloned, nil
+}
+
+// promote clones the shared matrix into a private accumulator, reserving
+// its bytes on budget. Cold path: runs at most once per join slot, so it
+// is kept out of line to keep andShared free of heap allocations.
+//
+//go:noinline
+func (m *bitMatrix) promote(budget *Accountant) (int64, error) {
+	size := int64(m.m.SizeBytes())
+	if err := budget.Reserve(size); err != nil {
+		return 0, err
+	}
+	m.m = m.m.Clone()
+	m.owned = true
+	return size, nil
 }
 
 // AggregateOp reorders join-order tuples back to pattern declaration

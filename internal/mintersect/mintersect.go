@@ -275,7 +275,7 @@ func forEach(ctx context.Context, in *Input, opts Options, fn func(tuple []graph
 const cancelCheckMask = 1<<10 - 1
 
 type executor struct {
-	ctx      context.Context
+	ctx      context.Context //vs:nolint(ctx-propagation) executor lives for exactly one RunContext call; the field mirrors its parameter
 	in       *Input
 	opts     Options
 	fn       func([]graph.VertexID)
@@ -351,24 +351,45 @@ func (e *executor) extend(t int) {
 		e.emit()
 		return
 	}
+	// validate() sizes every per-position table to NumPatternVertices, so
+	// none of these guards ever fire; restating the invariant as uint
+	// compares lets the prove pass drop the bounds checks below.
+	if uint(t) >= uint(len(e.in.Ext)) ||
+		uint(t) >= uint(len(e.scratch)) ||
+		uint(t) >= uint(len(e.rowIndex)) ||
+		uint(t) >= uint(len(e.in.RowCandidates)) ||
+		uint(t) >= uint(len(e.bound)) {
+		return
+	}
 	mats := e.in.Ext[t]
 	scratch := e.scratch[t]
+	rowIdx := e.rowIndex[t]
+	cands := e.in.RowCandidates[t]
+	bound := e.bound
+	if len(mats) == 0 {
+		return
+	}
 	// Seed with the first matrix's column, AND the rest (intersec_col).
 	firstMat := mats[0]
-	copyColumn(scratch, firstMat.M, int(e.bound[firstMat.EarlierPos]))
+	if p := firstMat.EarlierPos; uint(p) < uint(len(bound)) {
+		copyColumn(scratch, firstMat.M, int(bound[p]))
+	}
 	e.res.Stats.Intersections++
 	for _, em := range mats[1:] {
-		andColumn(scratch, em.M, int(e.bound[em.EarlierPos]))
+		if p := em.EarlierPos; uint(p) < uint(len(bound)) {
+			andColumn(scratch, em.M, int(bound[p]))
+		}
 		e.res.Stats.Intersections++
 	}
 	// Bijection: clear rows of already-bound vertices that appear among
 	// this position's candidates.
-	for i := 0; i < t; i++ {
-		if row, ok := e.rowIndex[t][e.bound[i]]; ok {
-			scratch[row/64] &^= 1 << uint(row%64)
+	for _, bv := range bound[:t] {
+		if row, ok := rowIdx[bv]; ok {
+			if w := row / 64; uint(w) < uint(len(scratch)) {
+				scratch[w] &^= 1 << uint(row%64)
+			}
 		}
 	}
-	cands := e.in.RowCandidates[t]
 	if t == n-1 && e.opts.CountOnly {
 		// Last position and only the count is needed: popcount the
 		// intersection (the paper's aggregation fast path).
@@ -384,10 +405,10 @@ func (e *executor) extend(t int) {
 			tz := bits.TrailingZeros64(word)
 			word &= word - 1
 			row := wi*64 + tz
-			if row >= len(cands) {
+			if uint(row) >= uint(len(cands)) {
 				break
 			}
-			e.bound[t] = cands[row]
+			bound[t] = cands[row]
 			e.extend(t + 1)
 			if e.stopped {
 				return
@@ -411,7 +432,16 @@ func (e *executor) emit() {
 //vs:hotpath
 func copyColumn(dst []uint64, m *bitmatrix.Matrix, c int) {
 	for s := 0; s < m.Stacks(); s++ {
-		copy(dst[s*bitmatrix.WordsPerColumn:(s+1)*bitmatrix.WordsPerColumn], m.ColumnWords(s, c))
+		w := m.ColumnWords(s, c)
+		base := s * bitmatrix.WordsPerColumn
+		// hi is computed once so the guard compares the exact SSA values
+		// the slice expressions use (see ColumnWords); it never fires.
+		hi := base + bitmatrix.WordsPerColumn
+		if len(w) < bitmatrix.WordsPerColumn || base < 0 || hi < base ||
+			hi > len(dst) || hi > cap(dst) {
+			return
+		}
+		copy(dst[base:hi], w[:bitmatrix.WordsPerColumn])
 	}
 }
 
@@ -422,7 +452,13 @@ func copyColumn(dst []uint64, m *bitmatrix.Matrix, c int) {
 func andColumn(dst []uint64, m *bitmatrix.Matrix, c int) {
 	for s := 0; s < m.Stacks(); s++ {
 		w := m.ColumnWords(s, c)
-		d := dst[s*bitmatrix.WordsPerColumn : (s+1)*bitmatrix.WordsPerColumn]
+		base := s * bitmatrix.WordsPerColumn
+		hi := base + bitmatrix.WordsPerColumn
+		if len(w) < bitmatrix.WordsPerColumn || base < 0 || hi < base ||
+			hi > len(dst) || hi > cap(dst) {
+			return
+		}
+		d := dst[base:hi:hi]
 		d[0] &= w[0]
 		d[1] &= w[1]
 		d[2] &= w[2]

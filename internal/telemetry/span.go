@@ -111,14 +111,20 @@ func (s *Span) End() {
 //
 //vs:hotpath
 func (s *Span) SetInt(key string, v int64) {
-	if s == nil || s.nattrs == maxAttrs {
+	if s == nil {
 		return
 	}
-	a := &s.attrs[s.nattrs]
+	// Load nattrs into a local and guard with a uint compare so the prove
+	// pass can eliminate the bounds check on the fixed-size attrs array.
+	n := s.nattrs
+	if uint(n) >= maxAttrs {
+		return
+	}
+	a := &s.attrs[n]
 	a.key = key
 	a.ival = v
 	a.kind = attrInt
-	s.nattrs++
+	s.nattrs = n + 1
 }
 
 // SetStr annotates the span with a string attribute. Safe on a nil span;
@@ -126,14 +132,18 @@ func (s *Span) SetInt(key string, v int64) {
 //
 //vs:hotpath
 func (s *Span) SetStr(key, v string) {
-	if s == nil || s.nattrs == maxAttrs {
+	if s == nil {
 		return
 	}
-	a := &s.attrs[s.nattrs]
+	n := s.nattrs
+	if uint(n) >= maxAttrs {
+		return
+	}
+	a := &s.attrs[n]
 	a.key = key
 	a.str = v
 	a.kind = attrStr
-	s.nattrs++
+	s.nattrs = n + 1
 }
 
 // Duration returns the recorded duration (zero before End).

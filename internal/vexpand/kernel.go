@@ -79,7 +79,12 @@ func newRowMatrix(rows, cols int) *rowMatrix {
 //
 //vs:hotpath
 func (m *rowMatrix) setBit(r, c int) {
-	m.words[r*m.wordsPerRow+c/64] |= 1 << uint(c%64)
+	// uint guard so the prove pass drops the bounds check; callers always
+	// pass in-range coordinates, so the branch is never taken.
+	w := m.words
+	if i := r*m.wordsPerRow + c/64; uint(i) < uint(len(w)) {
+		w[i] |= 1 << uint(c%64)
+	}
 }
 
 func (m *rowMatrix) get(r, c int) bool {
@@ -88,9 +93,20 @@ func (m *rowMatrix) get(r, c int) bool {
 
 func (m *rowMatrix) reset() { clear(m.words) }
 
-// row returns the words of row r.
+// row returns the words of row r, or nil when r is out of range. The
+// explicit guard keeps the slice expression check-free when this is
+// inlined into the hotpath kernels.
 func (m *rowMatrix) row(r int) []uint64 {
-	return m.words[r*m.wordsPerRow : (r+1)*m.wordsPerRow]
+	// Single field load + overflow-safe bound so the prove pass can drop
+	// the slice check when this is inlined into the kernels.
+	w := m.words
+	wpr := m.wordsPerRow
+	base := r * wpr
+	hi := base + wpr
+	if wpr <= 0 || base < 0 || hi < base || hi > len(w) || hi > cap(w) {
+		return nil
+	}
+	return w[base:hi]
 }
 
 // toStacked converts to the stacked columnar format for shared
@@ -146,8 +162,11 @@ func strawmanStep(cur, next *rowMatrix, sets []*graph.EdgeSet, dir graph.Directi
 func orColumnLoop(dst, src *bitmatrix.Matrix, stack, srcCol, dstCol int) {
 	d := dst.ColumnWords(stack, dstCol)
 	s := src.ColumnWords(stack, srcCol)
-	for i := range d {
-		d[i] |= s[i]
+	if len(d) < bitmatrix.WordsPerColumn || len(s) < bitmatrix.WordsPerColumn {
+		return
+	}
+	for i, w := range s[:bitmatrix.WordsPerColumn] {
+		d[i] |= w
 	}
 }
 
@@ -158,12 +177,17 @@ func orColumnLoop(dst, src *bitmatrix.Matrix, stack, srcCol, dstCol int) {
 //
 //vs:hotpath
 func cooStep(cur, next *bitmatrix.Matrix, from, to []uint32, stackLo, stackHi int, unrolled bool, lookahead int) {
+	// The COO arrays are always built parallel; restating the equality as
+	// a branch makes every from[x]/to[x] below provably in range.
+	if len(from) != len(to) {
+		return
+	}
 	for s := stackLo; s < stackHi; s++ {
 		switch {
 		case lookahead > 0:
 			n := len(from)
 			for x := 0; x < n; x++ {
-				if ahead := x + lookahead; ahead < n {
+				if ahead := x + lookahead; uint(ahead) < uint(n) {
 					// Demand-load the cache lines the (x+lookahead)-th
 					// edge will need, as §4.2's prefetcht0 would.
 					_ = cur.TouchColumn(s, int(from[ahead]))

@@ -1,0 +1,262 @@
+package vslint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildCFGFromSrc parses src, takes the first function declaration, and
+// builds its CFG.
+func buildCFGFromSrc(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatal("no function declaration in fixture")
+	return nil
+}
+
+func wantCFG(t *testing.T, src, golden string) {
+	t.Helper()
+	got := buildCFGFromSrc(t, src).String()
+	want := strings.TrimLeft(golden, "\n")
+	if got != want {
+		t.Errorf("CFG mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	wantCFG(t, `package p
+func f(x int) int {
+	y := 0
+	if x > 0 {
+		y = 1
+	} else {
+		y = 2
+	}
+	return y
+}`, `
+b0 entry → b2
+b1 exit
+b2 body: [y := 0] [cond x > 0] → b4 b5
+b3 if.join: [return y] → b1
+b4 if.then: [y = 1] → b3
+b5 if.else: [y = 2] → b3
+`)
+}
+
+func TestCFGForLoop(t *testing.T) {
+	wantCFG(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`, `
+b0 entry → b2
+b1 exit
+b2 body: [s := 0] [i := 0] → b3
+b3 for.head: [cond i < n] → b4 b6
+b4 for.join: [return s] → b1
+b5 for.post: [i++] → b3
+b6 for.body: [s += i] → b5
+`)
+}
+
+func TestCFGSwitchWithFallthrough(t *testing.T) {
+	wantCFG(t, `package p
+func f(x int) int {
+	switch x {
+	case 1:
+		return 10
+	case 2:
+		x++
+		fallthrough
+	case 3:
+		return x
+	}
+	return 0
+}`, `
+b0 entry → b2
+b1 exit
+b2 body: [cond x] → b3 b4 b5 b6
+b3 switch.join: [return 0] → b1
+b4 switch.case: [cond 1] [return 10] → b1
+b5 switch.case: [cond 2] [x++] [fallthrough] → b6
+b6 switch.case: [cond 3] [return x] → b1
+`)
+}
+
+func TestCFGDeferStaysInBlock(t *testing.T) {
+	wantCFG(t, `package p
+func f() {
+	defer done()
+	work()
+}
+func done() {}
+func work() {}`, `
+b0 entry → b2
+b1 exit
+b2 body: [defer done()] [work()] → b1
+`)
+}
+
+func TestCFGLabeledBreakAndContinue(t *testing.T) {
+	wantCFG(t, `package p
+func f(m [][]int) int {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+			if v == 0 {
+				continue outer
+			}
+		}
+	}
+	return 1
+}`, `
+b0 entry → b2
+b1 exit
+b2 body → b3
+b3 label.outer → b4
+b4 range.head: [range m] → b5 b6
+b5 range.join: [return 1] → b1
+b6 range.body → b7
+b7 range.head: [range row] → b8 b9
+b8 range.join → b4
+b9 range.body: [cond v < 0] → b10 b11
+b10 if.join: [cond v == 0] → b12 b13
+b11 if.then: [break outer] → b5
+b12 if.join → b7
+b13 if.then: [continue outer] → b4
+`)
+}
+
+// TestCFGInvariants checks structural properties over a grab-bag of shapes
+// (goto, panic, select, type switch, nested labels).
+func TestCFGInvariants(t *testing.T) {
+	srcs := []string{
+		`package p
+func f(x int) {
+	if x == 0 {
+		goto done
+	}
+	x++
+done:
+	_ = x
+}`,
+		`package p
+func f(x int) int {
+	if x < 0 {
+		panic("neg")
+	}
+	return x
+}`,
+		`package p
+func f(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}`,
+		`package p
+func f(v any) int {
+	switch v.(type) {
+	case int:
+		return 1
+	}
+	return 0
+}`,
+	}
+	for _, src := range srcs {
+		g := buildCFGFromSrc(t, src)
+		checkCFGInvariants(t, g)
+	}
+}
+
+func checkCFGInvariants(t *testing.T, g *CFG) {
+	t.Helper()
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatal("CFG missing entry or exit")
+	}
+	if len(g.Exit.Succs) != 0 {
+		t.Errorf("exit block has successors: %v", g.Exit.Succs)
+	}
+	index := map[*Block]bool{}
+	for _, b := range g.Blocks {
+		index[b] = true
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !index[s] {
+				t.Errorf("b%d has successor outside Blocks", b.Index)
+			}
+		}
+		if b.Then != nil && !index[b.Then] {
+			t.Errorf("b%d.Then outside Blocks", b.Index)
+		}
+		if b.Else != nil && !index[b.Else] {
+			t.Errorf("b%d.Else outside Blocks", b.Index)
+		}
+	}
+}
+
+func FuzzCFGBuild(f *testing.F) {
+	f.Add(`package p
+func f(x int) int {
+	for i := 0; i < x; i++ {
+		switch {
+		case i%2 == 0:
+			continue
+		default:
+			break
+		}
+	}
+	return x
+}`)
+	f.Add(`package p
+func f() {
+l:
+	goto l
+}`)
+	f.Add(`package p
+func f(ch chan int) {
+	for {
+		select {
+		case <-ch:
+			return
+		}
+	}
+}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, 0)
+		if err != nil {
+			return // only parseable inputs are interesting
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			g := BuildCFG(fd.Body) // must never panic
+			checkCFGInvariants(t, g)
+			_ = g.String()
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package vslint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPropagation enforces the QueryContext threading discipline the DAG
+// executor depends on: cancellation must flow from the server deadline
+// through every operator into the kernels.
+//
+//   - A context.Context must not be stored in a struct field; it is passed
+//     as a parameter so each call sees the caller's deadline. The one
+//     sanctioned carrier (exec.QueryContext) carries a justified
+//     //vs:nolint.
+//   - A function that already receives a Context (directly or via a
+//     carrier struct such as *QueryContext) must not call
+//     context.Background or context.TODO: that silently detaches the work
+//     from the caller's cancellation.
+//   - A function that spawns goroutines must receive a Context or a
+//     carrier, so the fan-out can be cancelled.
+var CtxPropagation = &Analyzer{
+	Name: "ctx-propagation",
+	Doc:  "context.Context must be threaded through parameters, never stored in fields or replaced by Background/TODO",
+	Run:  runCtxPropagation,
+}
+
+func runCtxPropagation(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if isContextType(p.typeOf(field.Type)) {
+					p.Reportf(field.Pos(), "context.Context stored in a struct field: pass it as a parameter so callees see the caller's deadline")
+				}
+			}
+			return true
+		})
+	}
+
+	forEachFuncDecl(p, func(fd *ast.FuncDecl) {
+		carrier := hasContextCarrier(p, fd)
+		if carrier {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := contextPackageCall(p, call); ok && (name == "Background" || name == "TODO") {
+					p.Reportf(call.Pos(), "%s receives a Context but calls context.%s, detaching this work from the caller's cancellation", fd.Name.Name, name)
+				}
+				return true
+			})
+			return
+		}
+		// main is where the root context is created; it has no caller to
+		// receive one from.
+		if fd.Name.Name == "main" && p.Pkg != nil && p.Pkg.Name() == "main" {
+			return
+		}
+		// No carrier: spawning concurrent work is a violation — there is
+		// no way to cancel the fan-out.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(), "%s spawns a goroutine but receives no context.Context (or carrier such as *QueryContext) to propagate cancellation", fd.Name.Name)
+			}
+			return true
+		})
+	})
+}
+
+// hasContextCarrier reports whether fd receives a context.Context or a
+// carrier type — a (pointer to) named struct with a Context field — via
+// its receiver or parameters.
+func hasContextCarrier(p *Pass, fd *ast.FuncDecl) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			t := p.typeOf(f.Type)
+			if isContextType(t) || carriesContextField(t) {
+				return true
+			}
+		}
+		return false
+	}
+	return check(fd.Recv) || check(fd.Type.Params)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// carriesContextField reports whether t (possibly behind a pointer) is a
+// named struct holding a context.Context field, e.g. *exec.QueryContext.
+func carriesContextField(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	st, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// contextPackageCall matches a call of the form context.<Name>(...) and
+// returns the function name.
+func contextPackageCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "context" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

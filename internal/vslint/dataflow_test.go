@@ -1,0 +1,422 @@
+package vslint
+
+import (
+	"strings"
+	"testing"
+)
+
+// --- span-leak ---------------------------------------------------------
+
+const spanShims = `
+type Span struct{ done bool }
+
+func (s *Span) End() { s.done = true }
+
+func StartSpan(name string) *Span { return &Span{} }
+
+func work() {}
+`
+
+func TestSpanLeakCatchesEarlyReturn(t *testing.T) {
+	findings := checkSrc(t, `package seed
+`+spanShims+`
+func leak(cond bool) {
+	s := StartSpan("op")
+	if cond {
+		return
+	}
+	s.End()
+}
+`)
+	wantFinding(t, findings, "span-leak", "may not reach End() on every path")
+}
+
+func TestSpanLeakPathSensitivity(t *testing.T) {
+	// Every function here is clean: defer-released, released on all
+	// branches, nil-guarded conditional acquire, or handle escape.
+	findings := checkSrc(t, `package seed
+`+spanShims+`
+func deferred() {
+	s := StartSpan("op")
+	defer s.End()
+	work()
+}
+
+func allPaths(cond bool) {
+	s := StartSpan("op")
+	if cond {
+		s.End()
+		return
+	}
+	s.End()
+}
+
+func conditional(on bool) {
+	var s *Span
+	if on {
+		s = StartSpan("op")
+	}
+	work()
+	if s != nil {
+		s.End()
+	}
+}
+
+func keep(s *Span) {}
+
+func escapes() {
+	s := StartSpan("op")
+	keep(s)
+}
+`)
+	wantNoFinding(t, findings, "span-leak")
+}
+
+func TestSpanLeakNolintSuppression(t *testing.T) {
+	findings := checkSrc(t, `package seed
+`+spanShims+`
+func handedOff(cond bool) {
+	s := StartSpan("op") //vs:nolint(span-leak) ownership transfers to the trace sink on flush
+	if cond {
+		return
+	}
+	s.End()
+}
+`)
+	wantNoFinding(t, findings, "span-leak")
+}
+
+// --- lock-discipline ---------------------------------------------------
+
+const lockShims = `
+import "sync"
+
+type C struct{ mu sync.Mutex }
+
+func work() {}
+`
+
+func TestLockDisciplineCatchesMissingUnlockOnPath(t *testing.T) {
+	findings := checkSrc(t, `package seed
+`+lockShims+`
+func (c *C) leak(cond bool) int {
+	c.mu.Lock()
+	if cond {
+		return 1
+	}
+	c.mu.Unlock()
+	return 0
+}
+`)
+	wantFinding(t, findings, "lock-discipline", "not unlocked on every path")
+}
+
+func TestLockDisciplineManualUnlockBothBranchesClean(t *testing.T) {
+	findings := checkSrc(t, `package seed
+`+lockShims+`
+func (c *C) ok(cond bool) int {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return 1
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func (c *C) deferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	work()
+}
+`)
+	wantNoFinding(t, findings, "lock-discipline")
+}
+
+func TestLockDisciplineCatchesDoubleUnlock(t *testing.T) {
+	// The second Unlock runs with the lock definitely released. (A
+	// may-analysis cannot flag a join where only one branch released —
+	// that is the price of union merge; the straight-line shape is the
+	// one the engine guarantees to catch.)
+	findings := checkSrc(t, `package seed
+`+lockShims+`
+func (c *C) double(cond bool) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	if cond {
+		c.mu.Unlock()
+	}
+}
+`)
+	wantFinding(t, findings, "lock-discipline", "on a path where it is not held")
+}
+
+func TestLockDisciplineOrderRule(t *testing.T) {
+	const orderShims = `
+import "sync"
+
+type MatrixCache struct{ mu sync.Mutex }
+
+type Accountant struct{}
+
+func (a *Accountant) Reserve(n int64)    {}
+func (a *Accountant) TryReserve(n int64) {}
+`
+	findings := checkSrc(t, `package seed
+`+orderShims+`
+func (c *MatrixCache) bad(a *Accountant) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a.Reserve(1)
+}
+`)
+	wantFinding(t, findings, "lock-discipline", "while holding")
+
+	findings = checkSrc(t, `package seed
+`+orderShims+`
+func (c *MatrixCache) good(a *Accountant) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a.TryReserve(1)
+}
+`)
+	wantNoFinding(t, findings, "lock-discipline")
+}
+
+func TestLockDisciplineNolintSuppression(t *testing.T) {
+	findings := checkSrc(t, `package seed
+`+lockShims+`
+func (c *C) handoff(cond bool) int {
+	c.mu.Lock() //vs:nolint(lock-discipline) unlocked by the callback registered below
+	if cond {
+		return 1
+	}
+	c.mu.Unlock()
+	return 0
+}
+`)
+	wantNoFinding(t, findings, "lock-discipline")
+}
+
+// --- resource-balance --------------------------------------------------
+
+const acctShims = `
+type Accountant struct{}
+
+func (a *Accountant) Reserve(n int64) {}
+func (a *Accountant) Release(n int64) {}
+
+type Gauge struct{}
+
+func (g *Gauge) Add(d int64) {}
+
+func work() {}
+`
+
+func TestResourceBalanceCatchesLeakedReserve(t *testing.T) {
+	findings := checkSrc(t, `package seed
+`+acctShims+`
+func leak(a *Accountant, cond bool) {
+	a.Reserve(8)
+	if cond {
+		return
+	}
+	a.Release(8)
+}
+`)
+	wantFinding(t, findings, "resource-balance", "not released on every path")
+}
+
+func TestResourceBalanceCrossFunctionPairingAllowed(t *testing.T) {
+	// Only an acquire (or only a release) in a function is legal: the
+	// matching half may live in another function (both-present rule).
+	findings := checkSrc(t, `package seed
+`+acctShims+`
+func acquireOnly(a *Accountant) {
+	a.Reserve(8)
+}
+
+func releaseOnly(a *Accountant) {
+	a.Release(8)
+}
+
+func balanced(a *Accountant) {
+	a.Reserve(8)
+	defer a.Release(8)
+	work()
+}
+`)
+	wantNoFinding(t, findings, "resource-balance")
+}
+
+func TestResourceBalanceCatchesGaugeLeak(t *testing.T) {
+	findings := checkSrc(t, `package seed
+`+acctShims+`
+func gaugeLeak(g *Gauge, cond bool) {
+	g.Add(1)
+	if cond {
+		return
+	}
+	g.Add(-1)
+}
+
+func gaugeOK(g *Gauge) {
+	g.Add(1)
+	defer g.Add(-1)
+	work()
+}
+`)
+	if n := countAnalyzer(findings, "resource-balance"); n != 1 {
+		t.Errorf("want exactly 1 resource-balance finding (gaugeLeak), got %d:\n%s",
+			n, renderFindings(findings))
+	}
+	wantFinding(t, findings, "resource-balance", "not released on every path")
+}
+
+func TestResourceBalanceNolintSuppression(t *testing.T) {
+	findings := checkSrc(t, `package seed
+`+acctShims+`
+func leak(a *Accountant, cond bool) {
+	a.Reserve(8) //vs:nolint(resource-balance) released by the pool finalizer
+	if cond {
+		return
+	}
+	a.Release(8)
+}
+`)
+	wantNoFinding(t, findings, "resource-balance")
+}
+
+// --- ctx-propagation ---------------------------------------------------
+
+func TestCtxPropagationCatchesStructField(t *testing.T) {
+	findings := checkSrc(t, `package seed
+
+import "context"
+
+type holder struct {
+	ctx context.Context
+}
+`)
+	wantFinding(t, findings, "ctx-propagation", "stored in a struct field")
+}
+
+func TestCtxPropagationCatchesDetachedContext(t *testing.T) {
+	findings := checkSrc(t, `package seed
+
+import "context"
+
+func detach(ctx context.Context) context.Context {
+	return context.Background()
+}
+`)
+	wantFinding(t, findings, "ctx-propagation", "detaching this work")
+}
+
+func TestCtxPropagationCatchesContextlessGoroutine(t *testing.T) {
+	findings := checkSrc(t, `package seed
+
+func spawn() {
+	go func() {}()
+}
+`)
+	wantFinding(t, findings, "ctx-propagation", "spawns a goroutine")
+}
+
+func TestCtxPropagationCarrierIsClean(t *testing.T) {
+	findings := checkSrc(t, `package seed
+
+import "context"
+
+type QueryContext struct {
+	Context context.Context
+}
+
+func withParam(ctx context.Context) {
+	go func() {}()
+}
+
+func withCarrier(qc *QueryContext) {
+	go func() {}()
+}
+`)
+	// The QueryContext.Context field is the sanctioned carrier shape: a
+	// struct embedding a Context field is itself a carrier, but the field
+	// still triggers the struct-field rule unless suppressed — assert only
+	// the goroutine spawns are clean here.
+	wantNoFindingMatching(t, findings, "ctx-propagation", "spawns a goroutine")
+}
+
+func TestCtxPropagationNolintSuppression(t *testing.T) {
+	findings := checkSrc(t, `package seed
+
+import "context"
+
+type holder struct {
+	ctx context.Context //vs:nolint(ctx-propagation) holder lives for exactly one call; the field mirrors its parameter
+}
+`)
+	wantNoFinding(t, findings, "ctx-propagation")
+}
+
+func wantNoFindingMatching(t *testing.T, findings []Finding, analyzer, substr string) {
+	t.Helper()
+	for _, f := range findings {
+		if f.Analyzer == analyzer && strings.Contains(f.Message, substr) {
+			t.Errorf("unexpected %s finding: %s", analyzer, f)
+		}
+	}
+}
+
+// --- severity ----------------------------------------------------------
+
+func TestGoroutineLoopCaptureIsAdvisory(t *testing.T) {
+	findings := checkSrc(t, `package seed
+
+import "sync"
+
+func use(int) {}
+
+func loop(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			use(it)
+		}()
+	}
+	wg.Wait()
+}
+`)
+	found := false
+	for _, f := range findings {
+		if f.Analyzer == "goroutine-hygiene" && strings.Contains(f.Message, "captures loop variable") {
+			found = true
+			if f.Severity != SeverityInfo {
+				t.Errorf("loop-capture severity = %q, want %q (go 1.22 per-iteration variables)", f.Severity, SeverityInfo)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no loop-capture advisory; got:\n%s", renderFindings(findings))
+	}
+}
+
+func TestDataflowLeakFindingsAreErrors(t *testing.T) {
+	findings := checkSrc(t, `package seed
+`+spanShims+`
+func leak(cond bool) {
+	s := StartSpan("op")
+	if cond {
+		return
+	}
+	s.End()
+}
+`)
+	for _, f := range findings {
+		if f.Analyzer == "span-leak" && f.Severity != SeverityError {
+			t.Errorf("span-leak severity = %q, want %q", f.Severity, SeverityError)
+		}
+	}
+}

@@ -109,7 +109,12 @@ func checkLoopCapture(p *Pass, f *ast.File) {
 				for _, l := range loops {
 					if name, ok := l.vars[obj]; ok {
 						reported[obj] = true
-						p.Reportf(id.Pos(), "goroutine closure captures loop variable %q; pass it as an argument", name)
+						// Advisory only: go.mod declares go 1.22, whose
+						// per-iteration loop variables make the capture
+						// correct. It stays flagged because an argument
+						// makes the data flow explicit and keeps the
+						// closure safe under copy-paste into older code.
+						p.Advisef(id.Pos(), "goroutine closure captures loop variable %q; prefer passing it as an argument (per-iteration loop variables under go 1.22 make this correct)", name)
 					}
 				}
 				return true

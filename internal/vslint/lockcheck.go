@@ -1,0 +1,155 @@
+package vslint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// LockDiscipline verifies mutex pairing and ordering:
+//
+//   - Lock/Unlock and RLock/RUnlock must pair on every control-flow path
+//     (an early return between Lock and Unlock wedges every later caller).
+//   - An Unlock reachable on a path where the mutex is not held is a
+//     double-unlock, which panics at runtime.
+//   - While a MatrixCache's mutex is held, (*Accountant).Reserve must not
+//     be called: Reserve can fire the OnPressure callback, which re-enters
+//     the cache and deadlocks on the same mutex. TryReserve is the
+//     sanctioned re-entrancy-free variant.
+//
+// Mutexes are tracked by their selector path ("c.mu"), so aliasing through
+// locals or containers is out of scope; read and write modes pair
+// independently.
+var LockDiscipline = &Analyzer{
+	Name: "lock-discipline",
+	Doc:  "Lock/Unlock and RLock/RUnlock must pair on all paths; cache and accountant must not interleave",
+	Run:  runLockDiscipline,
+}
+
+// lockOrderRule forbids calling calleeRecv.calleeName while a mutex owned
+// by heldOwner is held.
+type lockOrderRule struct {
+	heldOwner  string
+	calleeRecv string
+	calleeName string
+	why        string
+}
+
+var lockOrderRules = []lockOrderRule{
+	{
+		heldOwner:  "MatrixCache",
+		calleeRecv: "Accountant",
+		calleeName: "Reserve",
+		why:        "Reserve can invoke OnPressure, which re-enters the cache and deadlocks on its mutex; use TryReserve and evict explicitly",
+	},
+}
+
+func runLockDiscipline(p *Pass) {
+	spec := &pairSpec{
+		classify:          classifyLock,
+		unbalancedRelease: true,
+		leakMsg: func(s *acqSite) string {
+			return fmt.Sprintf("%s is locked here but not unlocked on every path", s.desc)
+		},
+		releaseMsg: func(key string) string {
+			mode, base, _ := strings.Cut(key, ":")
+			verb := "Unlock"
+			if mode == "R" {
+				verb = "RUnlock"
+			}
+			return fmt.Sprintf("%s of %s on a path where it is not held (possible double-unlock)", verb, base)
+		},
+		callCheck: checkLockOrder,
+	}
+	forEachFuncDecl(p, func(fd *ast.FuncDecl) { runPairing(p, fd, spec) })
+}
+
+func classifyLock(p *Pass, n ast.Node, deferred bool, emit func(event)) {
+	inspectNode(n, func(sub ast.Node) bool {
+		if _, ok := sub.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		tn := namedTypeName(p.typeOf(sel.X))
+		if tn != "Mutex" && tn != "RWMutex" {
+			return true
+		}
+		base := exprKey(sel.X)
+		if base == "" {
+			return true
+		}
+		var mode string
+		acquire := false
+		switch sel.Sel.Name {
+		case "Lock":
+			mode, acquire = "W", true
+		case "RLock":
+			mode, acquire = "R", true
+		case "Unlock":
+			mode = "W"
+		case "RUnlock":
+			mode = "R"
+		default:
+			return true
+		}
+		key := mode + ":" + base
+		if acquire {
+			if deferred {
+				return true // `defer mu.Lock()` is nonsense; not this check's job
+			}
+			emit(event{
+				acquire: true,
+				pos:     call.Pos(),
+				call:    call,
+				site: &acqSite{
+					key:   key,
+					desc:  fmt.Sprintf("mutex %s", base),
+					owner: lockOwner(p, sel),
+				},
+			})
+		} else {
+			emit(event{acquire: false, pos: call.Pos(), key: key})
+		}
+		return true
+	})
+}
+
+// lockOwner names the type holding the mutex field: for c.mu it is the
+// named type of c. Used by the ordering rules.
+func lockOwner(p *Pass, sel *ast.SelectorExpr) string {
+	inner, ok := unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return namedTypeName(p.typeOf(inner.X))
+}
+
+func checkLockOrder(p *Pass, call *ast.CallExpr, held []*acqSite, reportf func(token.Pos, string, ...any)) {
+	if len(held) == 0 {
+		return
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	recv := namedTypeName(p.typeOf(sel.X))
+	for _, r := range lockOrderRules {
+		if r.calleeRecv != recv || r.calleeName != sel.Sel.Name {
+			continue
+		}
+		for _, h := range held {
+			if h.owner == r.heldOwner {
+				reportf(call.Pos(), "call to (%s).%s while holding %s: %s",
+					r.calleeRecv, r.calleeName, h.desc, r.why)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package vslint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+)
+
+// ResourceBalance generalizes span-leak to table-declared acquire/release
+// pairs: memory grants from exec.Accountant and telemetry gauge
+// increments. A reservation that is not released on some path is a
+// permanent leak of query-memory budget; an unbalanced gauge corrupts the
+// in-flight counters the /metrics endpoint exports.
+//
+// Pairing is intraprocedural with an ownership-transfer convention: only
+// resources that are both acquired AND released in the same function are
+// checked (a reserve helper whose caller releases is legal), and a path
+// that returns the acquire's own error is a failed acquire, not a leak.
+var ResourceBalance = &Analyzer{
+	Name: "resource-balance",
+	Doc:  "table-declared acquire/release pairs (Accountant.Reserve/Release, Gauge.Add) must balance on all paths",
+	Run:  runResourceBalance,
+}
+
+// resourceRule declares one acquire/release pair by receiver type name.
+// When signed is set, calls to that method classify by the sign of their
+// constant argument: positive acquires, negative releases.
+type resourceRule struct {
+	recvType string
+	acquire  map[string]bool
+	release  map[string]bool
+	signed   string
+}
+
+var resourceTable = []resourceRule{
+	{
+		recvType: "Accountant",
+		acquire:  map[string]bool{"Reserve": true, "TryReserve": true},
+		release:  map[string]bool{"Release": true},
+	},
+	{
+		recvType: "Gauge",
+		signed:   "Add",
+	},
+}
+
+func runResourceBalance(p *Pass) {
+	spec := &pairSpec{
+		classify:     classifyResource,
+		bothRequired: true,
+		leakMsg: func(s *acqSite) string {
+			return fmt.Sprintf("%s is not released on every path (pair it with a release or defer one)", s.desc)
+		},
+	}
+	forEachFuncDecl(p, func(fd *ast.FuncDecl) { runPairing(p, fd, spec) })
+}
+
+func classifyResource(p *Pass, n ast.Node, deferred bool, emit func(event)) {
+	inspectNode(n, func(sub ast.Node) bool {
+		if _, ok := sub.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv := namedTypeName(p.typeOf(sel.X))
+		base := exprKey(sel.X)
+		if base == "" {
+			return true
+		}
+		method := sel.Sel.Name
+		for _, r := range resourceTable {
+			if r.recvType != recv {
+				continue
+			}
+			acquire, release := r.acquire[method], r.release[method]
+			if r.signed == method && len(call.Args) > 0 {
+				if tv, ok := p.Info.Types[call.Args[0]]; ok && tv.Value != nil &&
+					(tv.Value.Kind() == constant.Int || tv.Value.Kind() == constant.Float) {
+					switch constant.Sign(tv.Value) {
+					case 1:
+						acquire = true
+					case -1:
+						release = true
+					}
+				}
+			}
+			key := r.recvType + ":" + base
+			switch {
+			case acquire && !deferred:
+				emit(event{
+					acquire: true,
+					pos:     call.Pos(),
+					call:    call,
+					site: &acqSite{
+						key:  key,
+						desc: fmt.Sprintf("%s acquisition %s.%s", r.recvType, base, method),
+					},
+				})
+			case release:
+				emit(event{acquire: false, pos: call.Pos(), key: key})
+			}
+		}
+		return true
+	})
+}

@@ -34,15 +34,27 @@ import (
 	"strings"
 )
 
+// Severity levels of a finding. Errors fail the build; info findings are
+// advisories printed but not counted against the exit code.
+const (
+	SeverityError = "error"
+	SeverityInfo  = "info"
+)
+
 // Finding is one reported violation.
 type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Severity string
 }
 
 func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	sev := ""
+	if f.Severity == SeverityInfo {
+		sev = " (advisory)"
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s%s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message, sev)
 }
 
 // Analyzer is one named check run over a type-checked package.
@@ -63,12 +75,24 @@ type Pass struct {
 	report   func(f Finding)
 }
 
-// Reportf records a finding at pos.
+// Reportf records an error-severity finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Finding{
 		Analyzer: p.analyzer,
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
+		Severity: SeverityError,
+	})
+}
+
+// Advisef records an info-severity finding at pos: printed, suppressible
+// with //vs:nolint, but not counted against the exit code.
+func (p *Pass) Advisef(pos token.Pos, format string, args ...any) {
+	p.report(Finding{
+		Analyzer: p.analyzer,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Severity: SeverityInfo,
 	})
 }
 
@@ -80,9 +104,14 @@ func (p *Pass) typeOf(e ast.Expr) types.Type {
 	return nil
 }
 
-// All returns every analyzer in reporting order.
+// All returns every analyzer in reporting order. The first four are the
+// original syntactic walks; the last four are built on the CFG + dataflow
+// engine in cfg.go/dataflow.go.
 func All() []*Analyzer {
-	return []*Analyzer{HotpathAlloc, UncheckedErr, GoroutineHygiene, MutexCopy}
+	return []*Analyzer{
+		HotpathAlloc, UncheckedErr, GoroutineHygiene, MutexCopy,
+		CtxPropagation, SpanLeak, LockDiscipline, ResourceBalance,
+	}
 }
 
 // CheckPackage runs the analyzers over pkg, applies //vs:nolint
@@ -259,6 +288,7 @@ func parseNolint(pkg *Package, sup *suppressions, known map[string]bool, c *ast.
 					Analyzer: "nolint",
 					Pos:      pkg.Fset.Position(c.Pos()),
 					Message:  "malformed //vs:nolint: missing ')'",
+					Severity: SeverityError,
 				})
 			}
 			return nil, false
@@ -274,6 +304,7 @@ func parseNolint(pkg *Package, sup *suppressions, known map[string]bool, c *ast.
 					Analyzer: "nolint",
 					Pos:      pkg.Fset.Position(c.Pos()),
 					Message:  fmt.Sprintf("//vs:nolint names unknown analyzer %q", name),
+					Severity: SeverityError,
 				})
 			}
 			set.names[name] = true
@@ -285,6 +316,7 @@ func parseNolint(pkg *Package, sup *suppressions, known map[string]bool, c *ast.
 			Analyzer: "nolint",
 			Pos:      pkg.Fset.Position(c.Pos()),
 			Message:  "//vs:nolint requires a justification after the directive",
+			Severity: SeverityError,
 		})
 	}
 	return set, true

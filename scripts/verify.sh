@@ -8,8 +8,9 @@
 #   SKIP_FUZZ=1 scripts/verify.sh    # skip the fuzz smoke (e.g. constrained machines)
 #   SKIP_SMOKE=1 scripts/verify.sh   # skip the vsserve end-to-end smoke
 #   SKIP_BENCH=1 scripts/verify.sh   # skip the bench perf-regression gate
+#   SKIP_COMPILER_LINT=1 scripts/verify.sh  # skip the vslint -compiler gate
 #   BENCH_TOLERANCE=400 scripts/verify.sh  # perf-gate slack in percent
-#   BENCH_OUT=out scripts/verify.sh  # keep BENCH_*.json records (for CI artifacts)
+#   BENCH_OUT=out scripts/verify.sh  # keep BENCH_*.json / vslint records (for CI artifacts)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +34,21 @@ go vet ./...
 
 step "vslint (hot-path + concurrency invariants)"
 go run ./cmd/vslint ./...
+
+if [ -z "${SKIP_COMPILER_LINT:-}" ]; then
+    step "vslint -compiler (escape/bounds-check gate vs bench/vslint_baseline.json)"
+    # The compiler gate rebuilds with -gcflags diagnostics (go build -a),
+    # so it is the slowest lint step; SKIP_COMPILER_LINT=1 disables it.
+    # The findings JSON lands next to the BENCH_*.json records when
+    # BENCH_OUT is set, so CI uploads it as an artifact.
+    lintout="${BENCH_OUT:-}"
+    if [ -n "$lintout" ]; then
+        mkdir -p "$lintout"
+        go run ./cmd/vslint -compiler -json ./... > "$lintout/vslint_findings.json"
+    else
+        go run ./cmd/vslint -compiler ./...
+    fi
+fi
 
 step "go test ./..."
 go test ./...
