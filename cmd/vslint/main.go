@@ -6,14 +6,25 @@
 //
 //	go run ./cmd/vslint ./...
 //	go run ./cmd/vslint -format github ./internal/storage
+//	go run ./cmd/vslint -interproc -callgraph-dot out/callgraph.dot ./...
 //	go run ./cmd/vslint -compiler -json ./...
 //	go run ./cmd/vslint -compiler -write-baseline ./...
 //
 // Modes:
 //
 //	-list           list analyzers and exit
-//	-json           machine-readable output (findings + compiler report)
+//	-json           machine-readable output (findings, per-analyzer wall
+//	                time, compiler report)
 //	-format github  ::error/::notice workflow annotations instead of text
+//	-interproc      build the whole-program call graph and function
+//	                summaries, and run the interprocedural analyzers
+//	                (lock-order, hotpath-closure, cross-function
+//	                resource-balance and ctx-propagation) on top of the
+//	                per-package ones
+//	-callgraph-dot  write the call graph in Graphviz DOT form (implies the
+//	                graph build; most useful with -interproc)
+//	-summary-cache  persist function summaries keyed by package content
+//	                hash; unchanged packages reuse the cached summaries
 //	-compiler       additionally run the compiler-feedback gate: rebuild
 //	                with -gcflags='-m=1 -d=ssa/check_bce/debug=1' and fail
 //	                on heap escapes or bounds checks inside //vs:hotpath
@@ -23,8 +34,9 @@
 //	-tolerance      allowed per-function count increase before failing
 //
 // Exit status is 1 when any error-severity finding survives //vs:nolint
-// suppression or the compiler gate regresses; info-severity findings are
-// printed but do not fail the run.
+// suppression or the compiler gate regresses; info-severity findings
+// (including interprocedural conclusions that rest on a conservative
+// dispatch guess, marked "approx") are printed but do not fail the run.
 package main
 
 import (
@@ -46,18 +58,25 @@ type jsonFinding struct {
 	Col      int    `json:"col"`
 	Message  string `json:"message"`
 	Severity string `json:"severity"`
+	// Approx marks an interprocedural conclusion that depends on a
+	// conservative dispatch guess (interface or signature-matched callee).
+	Approx bool `json:"approx,omitempty"`
 }
 
 // jsonOutput is the top-level -json document.
 type jsonOutput struct {
-	Findings []jsonFinding          `json:"findings"`
-	Compiler *vslint.CompilerReport `json:"compiler,omitempty"`
+	Findings []jsonFinding           `json:"findings"`
+	Timings  []vslint.AnalyzerTiming `json:"timings,omitempty"`
+	Compiler *vslint.CompilerReport  `json:"compiler,omitempty"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON on stdout")
 	format := flag.String("format", "text", "finding output format: text or github")
+	interproc := flag.Bool("interproc", false, "run the interprocedural analyzers over the whole-program call graph")
+	callgraphDot := flag.String("callgraph-dot", "", "write the call graph in Graphviz DOT form to this path")
+	summaryCache := flag.String("summary-cache", "", "function-summary cache path (keyed by package content hash)")
 	compiler := flag.Bool("compiler", false, "also run the compiler-feedback gate over //vs:hotpath functions")
 	baseline := flag.String("baseline", "bench/vslint_baseline.json", "compiler-gate baseline, relative to the module root")
 	writeBaseline := flag.Bool("write-baseline", false, "rewrite the compiler-gate baseline from this run")
@@ -66,15 +85,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: vslint [flags] [packages]\n\npackages default to ./...\n\nflags:\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(os.Stderr, "\nanalyzers:\n")
-		for _, a := range vslint.All() {
-			fmt.Fprintf(os.Stderr, "  %-18s %s\n", a.Name, a.Doc)
-		}
+		printAnalyzers(os.Stderr)
 	}
 	flag.Parse()
 	if *list {
-		for _, a := range vslint.All() {
-			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
-		}
+		printAnalyzers(os.Stdout)
 		return
 	}
 	if *format != "text" && *format != "github" {
@@ -99,14 +114,38 @@ func main() {
 		fatal(err)
 	}
 
-	var findings []vslint.Finding
-	for _, pkg := range pkgs {
-		findings = append(findings, vslint.CheckPackage(pkg, vslint.All())...)
+	basePath := *baseline
+	if !filepath.IsAbs(basePath) {
+		basePath = filepath.Join(root, basePath)
 	}
 
-	out := jsonOutput{Findings: []jsonFinding{}}
+	opts := vslint.Options{
+		Interproc:        *interproc || *callgraphDot != "",
+		SummaryCachePath: *summaryCache,
+	}
+	if opts.Interproc {
+		// The hotpath-closure analyzer trusts the compiler gate's escape
+		// counts over its syntactic may-allocate guess; a missing baseline
+		// just means the syntactic view stands alone.
+		if base, err := vslint.ReadCompilerBaseline(basePath); err == nil {
+			opts.Baseline = base
+		}
+	}
+	res, err := vslint.CheckModule(mod, pkgs, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *callgraphDot != "" && res.Graph != nil {
+		if err := writeDOTFile(*callgraphDot, res.Graph); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vslint: wrote %s\n", *callgraphDot)
+	}
+
+	out := jsonOutput{Findings: []jsonFinding{}, Timings: res.Timings}
 	errors := 0
-	for _, f := range findings {
+	for _, f := range res.Findings {
 		if f.Severity != vslint.SeverityInfo {
 			errors++
 		}
@@ -117,6 +156,7 @@ func main() {
 			Col:      f.Pos.Column,
 			Message:  f.Message,
 			Severity: f.Severity,
+			Approx:   f.Approx,
 		})
 		if !*jsonOut {
 			printFinding(*format, out.Findings[len(out.Findings)-1])
@@ -130,10 +170,6 @@ func main() {
 			fatal(err)
 		}
 		out.Compiler = report
-		basePath := *baseline
-		if !filepath.IsAbs(basePath) {
-			basePath = filepath.Join(root, basePath)
-		}
 		if *writeBaseline {
 			if err := vslint.WriteCompilerBaseline(basePath, report); err != nil {
 				fatal(err)
@@ -173,6 +209,34 @@ func main() {
 	}
 }
 
+// printAnalyzers lists the per-package and interprocedural analyzers.
+func printAnalyzers(w *os.File) {
+	for _, a := range vslint.All() {
+		fmt.Fprintf(w, "  %-18s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(w, "\ninterprocedural (with -interproc):\n")
+	for _, a := range vslint.AllInterproc() {
+		fmt.Fprintf(w, "  %-18s %s\n", a.Name, a.Doc)
+	}
+}
+
+func writeDOTFile(path string, g *vslint.CallGraph) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteDOT(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // printFinding renders one finding in the selected format.
 func printFinding(format string, f jsonFinding) {
 	switch format {
@@ -184,8 +248,11 @@ func printFinding(format string, f jsonFinding) {
 		fmt.Printf("::%s file=%s,line=%d,col=%d::[%s] %s\n", level, f.File, f.Line, f.Col, f.Analyzer, f.Message)
 	default:
 		suffix := ""
+		if f.Approx {
+			suffix = " (approx)"
+		}
 		if f.Severity == vslint.SeverityInfo {
-			suffix = " (advisory)"
+			suffix += " (advisory)"
 		}
 		fmt.Printf("%s:%d:%d: [%s] %s%s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message, suffix)
 	}

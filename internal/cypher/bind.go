@@ -352,7 +352,7 @@ func runOnce(ctx context.Context, eng *engine.Engine, q *Query, params map[strin
 	if err != nil {
 		return nil, err
 	}
-	rows, err := project(eng, q, b, params, res)
+	rows, err := project(ctx, eng, q, b, params, res)
 	if err != nil {
 		return nil, err
 	}

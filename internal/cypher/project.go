@@ -1,6 +1,7 @@
 package cypher
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,7 +12,7 @@ import (
 
 // project turns matched tuples into output rows: evaluates expressions,
 // applies grouping and aggregation, and deduplicates RETURN DISTINCT rows.
-func project(eng *engine.Engine, q *Query, b *boundQuery, params map[string]any, res *engine.MatchResult) ([][]any, error) {
+func project(ctx context.Context, eng *engine.Engine, q *Query, b *boundQuery, params map[string]any, res *engine.MatchResult) ([][]any, error) {
 	// Precompute path lengths for length() expressions.
 	lengths := map[string]map[[2]graph.VertexID]int{}
 	for _, item := range q.Return {
@@ -23,7 +24,7 @@ func project(eng *engine.Engine, q *Query, b *boundQuery, params map[string]any,
 			if !ok {
 				return nil, fmt.Errorf("cypher: length() references unknown path %q", e.PathVar)
 			}
-			m, err := pathLengths(eng, b, bp, res)
+			m, err := pathLengths(ctx, eng, b, bp, res)
 			if err != nil {
 				return nil, err
 			}
@@ -237,7 +238,7 @@ func project(eng *engine.Engine, q *Query, b *boundQuery, params map[string]any,
 
 // pathLengths computes the minimal walk length for every (src, dst) pair of
 // a path variable's relationship that appears in the result tuples.
-func pathLengths(eng *engine.Engine, b *boundQuery, bp boundPath, res *engine.MatchResult) (map[[2]graph.VertexID]int, error) {
+func pathLengths(ctx context.Context, eng *engine.Engine, b *boundQuery, bp boundPath, res *engine.MatchResult) (map[[2]graph.VertexID]int, error) {
 	srcIdx, dstIdx := b.varIdx[bp.srcVar], b.varIdx[bp.dstVar]
 	srcSet := map[graph.VertexID]bool{}
 	for _, t := range res.Tuples {
@@ -252,7 +253,7 @@ func pathLengths(eng *engine.Engine, b *boundQuery, bp boundPath, res *engine.Ma
 	for i, v := range sources {
 		rowOf[v] = i
 	}
-	r, err := eng.Expand(sources, bp.d, true)
+	r, err := eng.ExpandContext(ctx, sources, bp.d, true)
 	if err != nil {
 		return nil, err
 	}

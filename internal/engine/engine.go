@@ -428,7 +428,14 @@ func (e *Engine) MatchForEachOpts(ctx context.Context, pat *pattern.Pattern, opt
 // Expand exposes the VExpand operator directly: reachability from sources
 // under d, with the engine's kernel and worker settings.
 func (e *Engine) Expand(sources []graph.VertexID, d pattern.Determiner, keepPerStep bool) (*vexpand.Result, error) {
-	return vexpand.Expand(e.g, sources, d, vexpand.Options{
+	return e.ExpandContext(context.Background(), sources, d, keepPerStep)
+}
+
+// ExpandContext is Expand with cancellation and trace propagation: the
+// expansion aborts between steps when ctx is done, and an active trace
+// records the vexpand span tree.
+func (e *Engine) ExpandContext(ctx context.Context, sources []graph.VertexID, d pattern.Determiner, keepPerStep bool) (*vexpand.Result, error) {
+	return vexpand.ExpandContext(ctx, e.g, sources, d, vexpand.Options{
 		Kernel:      e.opts.Kernel,
 		Workers:     e.opts.Workers,
 		KeepPerStep: keepPerStep,

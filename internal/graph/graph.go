@@ -174,11 +174,21 @@ func (e *EdgeSet) Neighbors(v VertexID, dir Direction) []uint32 {
 	case Reverse:
 		return e.in.Neighbors(v)
 	default:
-		outN := e.out.Neighbors(v)
-		inN := e.in.Neighbors(v)
-		all := make([]uint32, 0, len(outN)+len(inN))
-		return append(append(all, outN...), inN...)
+		return e.neighborsBoth(v)
 	}
+}
+
+// neighborsBoth merges the forward and reverse adjacency into a fresh
+// slice. Deliberately outlined: the merge allocates, while the Forward and
+// Reverse arms above return CSR-backed slices without copying — kernels
+// that run per set bit stay on those arms.
+//
+//go:noinline
+func (e *EdgeSet) neighborsBoth(v VertexID) []uint32 {
+	outN := e.out.Neighbors(v)
+	inN := e.in.Neighbors(v)
+	all := make([]uint32, 0, len(outN)+len(inN))
+	return append(append(all, outN...), inN...)
 }
 
 // Prop returns the edge property column with the given name, or nil. Row i

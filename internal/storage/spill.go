@@ -155,9 +155,13 @@ func (s *SpillManager) SpillContext(ctx context.Context, worker int, m *bitmatri
 	return Handle(id), nil
 }
 
-// Load reads a spilled matrix back into memory.
+// Load reads a spilled matrix back into memory. It is the context-less
+// compatibility wrapper for accessor paths (vexpand.Result.StepMatrix) that
+// hold no context by design: a load is a bounded read of one local file,
+// and cancellation is enforced where the matrices are produced. Traced or
+// cancellable callers use LoadContext.
 func (s *SpillManager) Load(h Handle) (*bitmatrix.Matrix, error) {
-	return s.LoadContext(context.Background(), h)
+	return s.LoadContext(context.Background(), h) //vs:nolint(ctx-propagation) bounded single-file read behind ctx-less accessors; cancellable paths call LoadContext
 }
 
 // LoadContext is Load with trace propagation: an active trace records a

@@ -145,6 +145,82 @@ b13 if.then: [continue outer] → b4
 `)
 }
 
+// TestCFGGotoBackEdgeInLoop pins the repaired shape for a goto targeting a
+// label inside a loop body: the goto's back edge lands on the label block
+// (b9 → b7) and the loop's own back-edge context (if.join → for.post →
+// for.head) survives intact.
+func TestCFGGotoBackEdgeInLoop(t *testing.T) {
+	wantCFG(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+	retry:
+		if bad(i) {
+			goto retry
+		}
+	}
+}`, `
+b0 entry → b2
+b1 exit
+b2 body: [i := 0] → b3
+b3 for.head: [cond i < n] → b4 b6
+b4 for.join → b1
+b5 for.post: [i++] → b3
+b6 for.body → b7
+b7 label.retry: [cond bad(i)] → b8 b9
+b8 if.join → b5
+b9 if.then: [goto retry] → b7
+`)
+}
+
+// TestCFGGotoIntoLoopBody pins the repaired shape for a loop that follows a
+// terminator: the builder used to manufacture a dangling no-predecessor
+// "unreachable" block wired into the loop head, so the head looked like it
+// had a live fall-in edge it could never take. Now the head is entered only
+// through the resolved goto path (b2 → b6 → b7 → b3). The source is a
+// jump-into-block the type checker rejects, but BuildCFG must stay sane on
+// it for the fuzz target.
+func TestCFGGotoIntoLoopBody(t *testing.T) {
+	wantCFG(t, `package p
+func f() {
+	goto top
+	for {
+	top:
+		if done() {
+			return
+		}
+	}
+}`, `
+b0 entry → b2
+b1 exit
+b2 body: [goto top] → b6
+b3 for.head → b5
+b4 for.join → b1
+b5 for.body → b6
+b6 label.top: [cond done()] → b7 b8
+b7 if.join → b3
+b8 if.then: [return] → b1
+`)
+}
+
+// TestCFGLoopAfterReturnIsDetached pins that dead loops after a return stay
+// fully detached instead of growing a synthetic predecessor block.
+func TestCFGLoopAfterReturnIsDetached(t *testing.T) {
+	wantCFG(t, `package p
+func f(xs []int) int {
+	return 0
+	for _, x := range xs {
+		_ = x
+	}
+}`, `
+b0 entry → b2
+b1 exit
+b2 body: [return 0] → b1
+b3 range.head: [range xs] → b4 b5
+b4 range.join → b1
+b5 range.body: [_ = x] → b3
+`)
+}
+
 // TestCFGInvariants checks structural properties over a grab-bag of shapes
 // (goto, panic, select, type switch, nested labels).
 func TestCFGInvariants(t *testing.T) {

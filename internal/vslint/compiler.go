@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/token"
 	"io"
 	"os"
 	"os/exec"
@@ -78,9 +79,30 @@ type hotpathRange struct {
 	from, to int    // inclusive line range of the declaration
 }
 
-// hotpathIndex collects every //vs:hotpath function of the module.
+// hotpathIndex collects every //vs:hotpath function of the module plus the
+// members of its closure: declared functions reachable from a hotpath root
+// over precise call edges (static calls and recorded field candidates),
+// stopping at //vs:coldpath and //go:noinline boundaries. Attributing
+// compiler diagnostics to closure members too means the baseline records
+// real escape counts for the helpers the hotpath-closure analyzer checks —
+// a helper the escape analysis proves clean is then exempted by evidence
+// instead of syntax.
 func hotpathIndex(mod *Module) []hotpathRange {
 	var idx []hotpathRange
+	seen := map[string]bool{}
+	add := func(name string, pos, end token.Pos) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		start := mod.Fset.Position(pos)
+		idx = append(idx, hotpathRange{
+			name: name,
+			file: start.Filename,
+			from: start.Line,
+			to:   mod.Fset.Position(end).Line,
+		})
+	}
 	for _, pkg := range mod.Pkgs {
 		for _, f := range pkg.Files {
 			for _, d := range f.Decls {
@@ -88,15 +110,35 @@ func hotpathIndex(mod *Module) []hotpathRange {
 				if !ok || !hasDirective(fd.Doc, hotpathDirective) {
 					continue
 				}
-				start := mod.Fset.Position(fd.Pos())
-				end := mod.Fset.Position(fd.End())
-				idx = append(idx, hotpathRange{
-					name: pkg.ImportPath + "." + funcDisplayName(fd),
-					file: start.Filename,
-					from: start.Line,
-					to:   end.Line,
-				})
+				add(pkg.ImportPath+"."+funcDisplayName(fd), fd.Pos(), fd.End())
 			}
+		}
+	}
+
+	g := BuildCallGraph(mod)
+	visited := map[*FuncNode]bool{}
+	var dfs func(n *FuncNode)
+	dfs = func(n *FuncNode) {
+		for _, e := range n.Out {
+			callee := e.Callee
+			// Only edges the resolver is sure about extend the attributed
+			// closure; a guessed interface candidate must not grow the gate.
+			if callee == g.Unknown || (e.Kind != EdgeStatic && e.Kind != EdgeField) {
+				continue
+			}
+			if callee.Coldpath || callee.Noinline || visited[callee] {
+				continue
+			}
+			visited[callee] = true
+			if callee.Decl != nil && !seen[callee.Name] {
+				add(callee.Name, callee.Decl.Pos(), callee.Decl.End())
+			}
+			dfs(callee)
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.Hotpath {
+			dfs(n)
 		}
 	}
 	return idx

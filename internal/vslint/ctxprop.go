@@ -1,8 +1,11 @@
 package vslint
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 )
 
 // CtxPropagation enforces the QueryContext threading discipline the DAG
@@ -61,6 +64,12 @@ func runCtxPropagation(p *Pass) {
 		if fd.Name.Name == "main" && p.Pkg != nil && p.Pkg.Name() == "main" {
 			return
 		}
+		// In interprocedural mode the CtxChains module analyzer owns this
+		// rule: it reports only spawns whose caller chain actually had a
+		// context to thread, with the path that lost it.
+		if p.Interproc {
+			return
+		}
 		// No carrier: spawning concurrent work is a violation — there is
 		// no way to cancel the fan-out.
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -69,6 +78,97 @@ func runCtxPropagation(p *Pass) {
 			}
 			return true
 		})
+	})
+}
+
+// CtxChains is the interprocedural upgrade of the goroutine rule above
+// (same analyzer name: -interproc swaps it in). Instead of flagging every
+// context-less spawner, it walks the call graph backwards from each
+// spawning or Background-detaching function to the nearest caller that
+// does receive a Context (or carrier), and reports the exact call path
+// along which the context was dropped. Chains rooted only at main (or at
+// nothing) stay silent: there was no context to lose.
+var CtxChains = &ModuleAnalyzer{
+	Name: CtxPropagation.Name,
+	Doc:  "report the interprocedural call path along which a context was dropped before a goroutine spawn or Background detach",
+	Run:  runCtxChains,
+}
+
+func runCtxChains(mp *ModulePass) {
+	for _, n := range mp.Graph.Nodes {
+		sum := mp.Sums.Of(n)
+		if sum.HasCtx || (len(sum.Spawns) == 0 && len(sum.Detaches) == 0) {
+			continue
+		}
+		if n.Decl != nil && n.Decl.Name.Name == "main" && n.Pkg != nil && n.Pkg.Types.Name() == "main" {
+			continue
+		}
+		path, approx := carrierPath(mp, n)
+		if path == nil {
+			continue // no caller had a context; nothing was lost
+		}
+		chain := strings.Join(path, " → ")
+		for _, pos := range sum.Spawns {
+			mp.reportAt(pos, approx,
+				"%s spawns a goroutine without a context.Context, but its caller chain had one to thread: %s",
+				n.Name, chain)
+		}
+		for _, pos := range sum.Detaches {
+			mp.reportAt(pos, approx,
+				"%s calls context.Background/TODO without receiving a Context, but its caller chain had one to thread: %s",
+				n.Name, chain)
+		}
+	}
+}
+
+// carrierPath finds the shortest caller chain from a context-carrying
+// function down to n, walking precise edges first. It returns the chain
+// (carrier first, n last) or nil, plus whether any traversed edge was a
+// conservative dispatch guess.
+func carrierPath(mp *ModulePass, n *FuncNode) ([]string, bool) {
+	type item struct {
+		node   *FuncNode
+		approx bool
+	}
+	prev := map[*FuncNode]*FuncNode{}
+	visited := map[*FuncNode]bool{n: true}
+	queue := []item{{node: n}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range cur.node.In {
+			caller := e.Caller
+			if visited[caller] || e.Kind == EdgeUnknown {
+				continue
+			}
+			visited[caller] = true
+			prev[caller] = cur.node
+			approx := cur.approx || e.Kind.Approx()
+			if mp.Sums.Of(caller).HasCtx {
+				var path []string
+				for p := caller; p != nil; p = prev[p] {
+					path = append(path, p.Name)
+				}
+				return path, approx
+			}
+			queue = append(queue, item{node: caller, approx: approx})
+		}
+	}
+	return nil, false
+}
+
+// reportAt mirrors ModulePass.Reportf for an already-resolved position.
+func (mp *ModulePass) reportAt(pos token.Position, approx bool, format string, args ...any) {
+	sev := SeverityError
+	if approx {
+		sev = SeverityInfo
+	}
+	mp.report(Finding{
+		Analyzer: mp.analyzer,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Severity: sev,
+		Approx:   approx,
 	})
 }
 

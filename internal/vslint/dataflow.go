@@ -47,6 +47,10 @@ type acqSite struct {
 	// owner is the named type owning the resource (e.g. the struct a
 	// mutex field lives in); consumed by ordering rules.
 	owner string
+	// class is the module-global lock class ("pkgpath.Owner.field"), set
+	// for mutex sites the interprocedural lock-order graph can track; ""
+	// for locals and non-lock resources.
+	class string
 	// errObj is the error variable bound at the acquire, when the acquire
 	// call's results include one.
 	errObj types.Object
@@ -78,6 +82,10 @@ type pairSpec struct {
 	// release anywhere in the function (cross-function pairing, e.g. a
 	// reserve helper whose caller releases).
 	bothRequired bool
+	// leakMsg == nil puts the engine in silent collection mode: no leak or
+	// unbalanced-release reports, only callCheck callbacks (the lock-order
+	// analyzer reuses the flow to see held sets without re-reporting what
+	// lock-discipline already covers).
 	// unbalancedRelease additionally reports a release on a path where no
 	// matching acquisition is open (double-unlock shapes). Only applied
 	// to resources that are acquired somewhere in the function.
@@ -95,10 +103,15 @@ const maxSites = 64
 
 // runPairing runs spec over one function declaration.
 func runPairing(p *Pass, fd *ast.FuncDecl, spec *pairSpec) {
-	if fd.Body == nil {
-		return
+	if fd.Body != nil {
+		runPairingBody(p, fd.Body, spec)
 	}
-	cfg := BuildCFG(fd.Body)
+}
+
+// runPairingBody runs spec over one function body (declaration or
+// literal).
+func runPairingBody(p *Pass, body *ast.BlockStmt, spec *pairSpec) {
+	cfg := BuildCFG(body)
 
 	// Pass 1: collect the per-block item sequences (events, calls,
 	// returns) in source order, assigning site ids as acquires appear.
@@ -163,7 +176,7 @@ func runPairing(p *Pass, fd *ast.FuncDecl, spec *pairSpec) {
 				track[s.obj] = true
 			}
 		}
-		escaped = escapedObjects(p, fd.Body, track)
+		escaped = escapedObjects(p, body, track)
 	}
 	live := func(s *acqSite) bool { return s.obj == nil || !escaped[s.obj] }
 
@@ -326,6 +339,9 @@ func runPairing(p *Pass, fd *ast.FuncDecl, spec *pairSpec) {
 		if reachable[blk.Index] {
 			transfer(blk, in[blk.Index], reportf)
 		}
+	}
+	if spec.leakMsg == nil {
+		return // silent collection mode: callCheck only
 	}
 	for _, s := range sites {
 		if in[cfg.Exit.Index]&(1<<uint(s.id)) == 0 || !live(s) {

@@ -151,37 +151,9 @@ func (c *C) double(cond bool) {
 	wantFinding(t, findings, "lock-discipline", "on a path where it is not held")
 }
 
-func TestLockDisciplineOrderRule(t *testing.T) {
-	const orderShims = `
-import "sync"
-
-type MatrixCache struct{ mu sync.Mutex }
-
-type Accountant struct{}
-
-func (a *Accountant) Reserve(n int64)    {}
-func (a *Accountant) TryReserve(n int64) {}
-`
-	findings := checkSrc(t, `package seed
-`+orderShims+`
-func (c *MatrixCache) bad(a *Accountant) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	a.Reserve(1)
-}
-`)
-	wantFinding(t, findings, "lock-discipline", "while holding")
-
-	findings = checkSrc(t, `package seed
-`+orderShims+`
-func (c *MatrixCache) good(a *Accountant) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	a.TryReserve(1)
-}
-`)
-	wantNoFinding(t, findings, "lock-discipline")
-}
+// The cache/accountant ordering rule that used to be hardcoded here moved
+// to the interprocedural lock-order analyzer; see
+// TestLockOrderReproducesReserveUnderCacheMutex in interproc_test.go.
 
 func TestLockDisciplineNolintSuppression(t *testing.T) {
 	findings := checkSrc(t, `package seed

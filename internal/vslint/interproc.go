@@ -1,0 +1,247 @@
+package vslint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file orchestrates the interprocedural analysis mode (`vslint
+// -interproc`): build the whole-program call graph, compute function
+// summaries bottom-up, then run the module-level analyzers that need
+// cross-function facts — lock-order, hotpath-closure, and the upgraded
+// resource-balance and ctx-propagation — alongside the per-package ones.
+
+// ModuleAnalyzer is one check that runs over the whole module at once.
+type ModuleAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*ModulePass)
+}
+
+// ModulePass carries the module-wide state through one analyzer run.
+type ModulePass struct {
+	Mod      *Module
+	Graph    *CallGraph
+	Sums     *Summaries
+	Baseline *CompilerBaseline
+
+	analyzer string
+	report   func(Finding)
+	passes   map[*Package]*Pass
+}
+
+// passFor returns a per-package Pass sharing mp's reporting sink, for the
+// module analyzers that reuse the intraprocedural machinery.
+func (mp *ModulePass) passFor(pkg *Package) *Pass {
+	if p, ok := mp.passes[pkg]; ok {
+		p.analyzer = mp.analyzer // the cache outlives one analyzer's run
+		return p
+	}
+	p := &Pass{
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		Info:      pkg.Info,
+		Interproc: true,
+		analyzer:  mp.analyzer,
+		report:    mp.report,
+	}
+	mp.passes[pkg] = p
+	return p
+}
+
+// Reportf records a finding. approx marks a conclusion that rests on a
+// conservative dispatch guess (interface or signature-matched callee);
+// approximate findings are demoted to info severity so a guessed edge
+// never hard-fails CI.
+func (mp *ModulePass) Reportf(pos token.Pos, approx bool, format string, args ...any) {
+	sev := SeverityError
+	if approx {
+		sev = SeverityInfo
+	}
+	mp.report(Finding{
+		Analyzer: mp.analyzer,
+		Pos:      mp.Mod.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Severity: sev,
+		Approx:   approx,
+	})
+}
+
+// AllInterproc returns the module-level analyzers in reporting order.
+// ResourceBalanceInterproc and CtxChains carry the same names as their
+// per-package counterparts: they are upgrades, and -interproc swaps them
+// in (so existing //vs:nolint suppressions keep working).
+func AllInterproc() []*ModuleAnalyzer {
+	return []*ModuleAnalyzer{LockOrder, ResourceBalanceInterproc, CtxChains, HotpathClosure}
+}
+
+// Options configures one CheckModule run.
+type Options struct {
+	// Interproc enables the call-graph + summary layer and the module
+	// analyzers; off, CheckModule matches a plain per-package run.
+	Interproc bool
+	// Baseline seeds the hotpath-closure analyzer with the compiler gate's
+	// escape counts (a function the escape analysis proves clean is not
+	// reported even if it looks allocating syntactically).
+	Baseline *CompilerBaseline
+	// SummaryCachePath persists function summaries keyed by package hash;
+	// empty disables the cache.
+	SummaryCachePath string
+}
+
+// AnalyzerTiming is the cumulative wall time of one analyzer across the
+// whole run.
+type AnalyzerTiming struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"ms"`
+}
+
+// Result is the outcome of one CheckModule run.
+type Result struct {
+	Findings []Finding
+	Timings  []AnalyzerTiming
+	// Graph is the whole-program call graph (nil without Interproc), for
+	// -callgraph-dot dumps.
+	Graph *CallGraph
+	// SummaryCacheHit reports that the summaries were loaded, not computed.
+	SummaryCacheHit bool
+}
+
+// CheckModule analyzes mod and reports findings positioned inside pkgs
+// (the command-line match set). Suppressions are collected module-wide;
+// findings at one position from several analyzers are merged into one.
+func CheckModule(mod *Module, pkgs []*Package, opts Options) (*Result, error) {
+	res := &Result{}
+	timings := map[string]time.Duration{}
+	var raw []Finding
+
+	perPkg := All()
+	if opts.Interproc {
+		// The interprocedural resource-balance subsumes the per-package one.
+		kept := perPkg[:0:len(perPkg)]
+		for _, a := range perPkg {
+			if a.Name != ResourceBalance.Name {
+				kept = append(kept, a)
+			}
+		}
+		perPkg = kept
+	}
+	for _, pkg := range pkgs {
+		pass := &Pass{
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			Info:      pkg.Info,
+			Interproc: opts.Interproc,
+		}
+		pass.report = func(f Finding) { raw = append(raw, f) }
+		for _, a := range perPkg {
+			pass.analyzer = a.Name
+			start := time.Now()
+			a.Run(pass)
+			timings[a.Name] += time.Since(start)
+		}
+	}
+
+	if opts.Interproc {
+		start := time.Now()
+		graph := BuildCallGraph(mod)
+		sums, hit, err := LoadOrComputeSummaries(graph, opts.SummaryCachePath)
+		if err != nil {
+			return nil, err
+		}
+		res.Graph = graph
+		res.SummaryCacheHit = hit
+		timings["callgraph+summaries"] = time.Since(start)
+
+		// Module findings land anywhere in the module; keep the ones in the
+		// matched packages.
+		matched := map[string]bool{}
+		for _, pkg := range pkgs {
+			matched[pkg.Dir] = true
+		}
+		mp := &ModulePass{
+			Mod:      mod,
+			Graph:    graph,
+			Sums:     sums,
+			Baseline: opts.Baseline,
+			passes:   map[*Package]*Pass{},
+		}
+		mp.report = func(f Finding) {
+			if matched[dirOf(f.Pos.Filename)] {
+				raw = append(raw, f)
+			}
+		}
+		for _, a := range AllInterproc() {
+			mp.analyzer = a.Name
+			start := time.Now()
+			a.Run(mp)
+			timings[a.Name] += time.Since(start)
+		}
+	}
+
+	// Module-wide suppressions: a //vs:nolint in any package applies, so a
+	// justified suppression in internal/exec silences the interprocedural
+	// finding reported there.
+	sup := &suppressions{byLine: map[string]map[int]*nolintSet{}}
+	for _, pkg := range mod.Pkgs {
+		mergeSuppressions(sup, collectSuppressions(pkg))
+	}
+	var out []Finding
+	for _, f := range sup.findings {
+		if matchedFinding(pkgs, f) {
+			out = append(out, f)
+		}
+	}
+	for _, f := range raw {
+		if !sup.suppressed(f) {
+			out = append(out, f)
+		}
+	}
+	res.Findings = dedupeFindings(sortFindings(out))
+
+	for name, d := range timings {
+		res.Timings = append(res.Timings, AnalyzerTiming{Name: name, Millis: float64(d.Microseconds()) / 1000})
+	}
+	sort.Slice(res.Timings, func(i, j int) bool { return res.Timings[i].Name < res.Timings[j].Name })
+	return res, nil
+}
+
+func dirOf(filename string) string {
+	if i := strings.LastIndexByte(filename, '/'); i >= 0 {
+		return filename[:i]
+	}
+	return "."
+}
+
+func matchedFinding(pkgs []*Package, f Finding) bool {
+	for _, pkg := range pkgs {
+		if pkg.Dir == dirOf(f.Pos.Filename) {
+			return true
+		}
+	}
+	return false
+}
+
+func mergeSuppressions(dst, src *suppressions) {
+	for file, lines := range src.byLine {
+		for line, set := range lines {
+			dst.add(file, line, set)
+		}
+	}
+	dst.findings = append(dst.findings, src.findings...)
+}
+
+// posEdgeIndex groups a node's outgoing edges by call position, for the
+// analyzers that look up "what may this call invoke" while walking a body.
+func posEdgeIndex(n *FuncNode) map[token.Pos][]*CallEdge {
+	idx := map[token.Pos][]*CallEdge{}
+	for _, e := range n.Out {
+		idx[e.Pos] = append(idx[e.Pos], e)
+	}
+	return idx
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/constant"
+	"go/token"
 )
 
 // ResourceBalance generalizes span-leak to table-declared acquire/release
@@ -53,6 +54,96 @@ func runResourceBalance(p *Pass) {
 		},
 	}
 	forEachFuncDecl(p, func(fd *ast.FuncDecl) { runPairing(p, fd, spec) })
+}
+
+// ResourceBalanceInterproc is the interprocedural upgrade of
+// ResourceBalance (same analyzer name: -interproc swaps it in). On top of
+// the direct table calls, every static call site is widened by the
+// callee's summarized net effects: a helper that reserves into its
+// parameter counts as an acquire of the caller-side expression, and a
+// deferred-release helper counts as a release — so Reserve-in-caller /
+// Release-in-callee pairs verify instead of being skipped by the
+// both-halves-in-one-function rule.
+var ResourceBalanceInterproc = &ModuleAnalyzer{
+	Name: ResourceBalance.Name,
+	Doc:  "acquire/release pairs must balance on all paths, seeing through helper calls via function summaries",
+	Run:  runResourceBalanceInterproc,
+}
+
+func runResourceBalanceInterproc(mp *ModulePass) {
+	for _, n := range mp.Graph.Nodes {
+		if n.Body() == nil {
+			continue
+		}
+		p := mp.passFor(n.Pkg)
+		byPos := posEdgeIndex(n)
+		spec := &pairSpec{
+			bothRequired: true,
+			leakMsg: func(s *acqSite) string {
+				return fmt.Sprintf("%s is not released on every path (pair it with a release or defer one)", s.desc)
+			},
+			classify: func(p *Pass, node ast.Node, deferred bool, emit func(event)) {
+				direct := map[token.Pos]bool{}
+				classifyResource(p, node, deferred, func(ev event) {
+					direct[ev.pos] = true
+					emit(ev)
+				})
+				classifyCalleeEffects(mp, p, byPos, direct, node, deferred, emit)
+			},
+		}
+		runPairingBody(p, n.Body(), spec)
+	}
+}
+
+// classifyCalleeEffects emits acquire/release events for the summarized
+// net effects of statically-resolved callees, mapped onto caller-side
+// expressions. Positions already classified as direct table calls are
+// skipped so a call is never counted twice.
+func classifyCalleeEffects(mp *ModulePass, p *Pass, byPos map[token.Pos][]*CallEdge, direct map[token.Pos]bool, n ast.Node, deferred bool, emit func(event)) {
+	inspectNode(n, func(sub ast.Node) bool {
+		if _, ok := sub.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := sub.(*ast.CallExpr)
+		if !ok || direct[call.Pos()] {
+			return true
+		}
+		for _, e := range byPos[call.Pos()] {
+			if e.Kind != EdgeStatic || e.Go {
+				continue
+			}
+			for _, eff := range mp.Sums.Of(e.Callee).Effects {
+				arg := effectArgExpr(call, eff.Param)
+				if arg == nil {
+					continue
+				}
+				base := exprKey(arg)
+				if base == "" {
+					continue
+				}
+				key := eff.Rule + ":" + base + eff.Path
+				if eff.Acquire {
+					if deferred {
+						continue // a deferred acquire helper grants at exit; out of scope
+					}
+					emit(event{
+						acquire: true,
+						pos:     call.Pos(),
+						call:    call,
+						site: &acqSite{
+							key:  key,
+							desc: fmt.Sprintf("%s acquisition %s%s via %s", eff.Rule, base, eff.Path, e.Callee.Name),
+						},
+					})
+				} else {
+					// A callee that defers its release still releases by
+					// the time the call returns: a plain release here.
+					emit(event{acquire: false, pos: call.Pos(), key: key})
+				}
+			}
+		}
+		return true
+	})
 }
 
 func classifyResource(p *Pass, n ast.Node, deferred bool, emit func(event)) {

@@ -1,0 +1,723 @@
+package vslint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file computes the per-function summaries the interprocedural
+// analyzers consume. Summaries are calculated bottom-up over the call
+// graph's strongly connected components: when a function is summarized,
+// every callee outside its own component already has a final summary, so
+// one fixpoint loop inside each component suffices. All summarized facts
+// are monotone "may" bits — may acquire this lock, may have a net resource
+// effect, may allocate — so the fixpoint terminates.
+//
+// Everything in a summary is position-based (token.Position, not
+// token.Pos) and JSON-serializable: the summary cache persists them across
+// vslint runs keyed by a hash of each package's sources.
+
+// LockStep is one step of a lock-acquisition witness: the function either
+// acquires Class directly (Via == "") or reaches it by calling Via.
+type LockStep struct {
+	Class  string         `json:"class"`
+	Via    string         `json:"via,omitempty"`
+	Pos    token.Position `json:"pos"`
+	Approx bool           `json:"approx,omitempty"`
+}
+
+// ResEffect is one net resource effect a function exposes through its own
+// interface: "calling me acquires (or releases) the table resource rooted
+// at parameter Param's Path". Only unbalanced effects are exported — a
+// function that both reserves and releases internally has no net effect.
+type ResEffect struct {
+	Rule    string         `json:"rule"`            // resourceTable receiver type, e.g. "Accountant"
+	Param   int            `json:"param"`           // -1 = method receiver
+	Path    string         `json:"path,omitempty"`  // selector path below the parameter, e.g. ".acct"
+	Acquire bool           `json:"acquire"`         // false = release
+	Defer   bool           `json:"defer,omitempty"` // release registered with defer (fires on every exit)
+	Pos     token.Position `json:"pos"`
+}
+
+// FuncSummary is the interprocedural abstract of one function.
+type FuncSummary struct {
+	Name string `json:"name"`
+	// Locks maps every lock class the function may acquire (transitively,
+	// in the same goroutine) to the first step of a witness chain.
+	Locks map[string]LockStep `json:"locks,omitempty"`
+	// Effects lists the net resource effects rooted at parameters.
+	Effects []ResEffect `json:"effects,omitempty"`
+	// HasCtx reports a context.Context (or carrier struct) parameter or
+	// receiver; literals inherit it from the enclosing function.
+	HasCtx bool `json:"has_ctx,omitempty"`
+	// Spawns are go-statement positions; Detaches are context.Background /
+	// context.TODO call positions. Both are direct (non-transitive).
+	Spawns   []token.Position `json:"spawns,omitempty"`
+	Detaches []token.Position `json:"detaches,omitempty"`
+	// MayAlloc is the syntactic may-allocate bit with its first witness;
+	// the hotpath-closure analyzer overrides it with the compiler
+	// baseline's escape count when one is recorded.
+	MayAlloc    bool           `json:"may_alloc,omitempty"`
+	AllocReason string         `json:"alloc_reason,omitempty"`
+	AllocPos    token.Position `json:"alloc_pos,omitempty"`
+}
+
+// Summaries holds the summary of every call-graph node.
+type Summaries struct {
+	byNode map[*FuncNode]*FuncSummary
+	byName map[string]*FuncSummary
+}
+
+// Of returns n's summary (never nil for a graph node the summaries were
+// computed over; an empty summary otherwise).
+func (s *Summaries) Of(n *FuncNode) *FuncSummary {
+	if sum, ok := s.byNode[n]; ok {
+		return sum
+	}
+	return &FuncSummary{Name: n.Name}
+}
+
+// ByName returns the summary with the given qualified name, or nil.
+func (s *Summaries) ByName(name string) *FuncSummary { return s.byName[name] }
+
+// ComputeSummaries builds the summary of every node bottom-up over g's
+// SCCs.
+func ComputeSummaries(g *CallGraph) *Summaries {
+	s := &Summaries{byNode: map[*FuncNode]*FuncSummary{}, byName: map[string]*FuncSummary{}}
+	passes := map[*Package]*Pass{}
+	passFor := func(pkg *Package) *Pass {
+		if p, ok := passes[pkg]; ok {
+			return p
+		}
+		p := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+		passes[pkg] = p
+		return p
+	}
+
+	// Direct facts first: every node independently.
+	effectBits := map[*FuncNode]map[effectKey]*effectState{}
+	for _, n := range g.Nodes {
+		sum := &FuncSummary{Name: n.Name, Locks: map[string]LockStep{}}
+		s.byNode[n] = sum
+		s.byName[n.Name] = sum
+		if n.Pkg == nil || n.Body() == nil {
+			continue
+		}
+		p := passFor(n.Pkg)
+		collectDirectLocks(p, n, sum)
+		effectBits[n] = collectDirectEffects(p, n)
+		collectCtxFacts(p, n, s, sum)
+		sum.MayAlloc, sum.AllocReason, sum.AllocPos = mayAllocate(p, n)
+	}
+
+	// Propagation: bottom-up over SCCs, iterating inside each component
+	// until nothing changes.
+	for _, comp := range g.SCCs {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				if n.Body() == nil {
+					continue
+				}
+				if propagateLocks(g, s, n) {
+					changed = true
+				}
+				if propagateEffects(s, effectBits, n) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Export the unbalanced effect bits in a deterministic order.
+	for n, bits := range effectBits {
+		s.byNode[n].Effects = exportEffects(bits)
+	}
+	return s
+}
+
+// globalLockClass names a mutex globally: "pkgpath.OwnerType.field" for a
+// struct-field mutex, "pkgpath.var" for a package-level one, "" for locals
+// and anything the keying cannot identify across functions.
+func globalLockClass(p *Pass, lockExpr ast.Expr) string {
+	switch e := unparen(lockExpr).(type) {
+	case *ast.SelectorExpr:
+		field, ok := p.Info.Uses[e.Sel].(*types.Var)
+		if !ok || !field.IsField() || field.Pkg() == nil {
+			return ""
+		}
+		owner := namedTypeName(p.typeOf(e.X))
+		if owner == "" {
+			return ""
+		}
+		return field.Pkg().Path() + "." + owner + "." + field.Name()
+	case *ast.Ident:
+		v, ok := p.Info.Uses[e].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return ""
+		}
+		if v.Parent() != v.Pkg().Scope() {
+			return "" // local mutex: invisible across functions
+		}
+		return v.Pkg().Path() + "." + v.Name()
+	}
+	return ""
+}
+
+// mutexAcquire matches a call of (R)Lock on a sync.Mutex/RWMutex and
+// returns the lock expression. Lock modes are deliberately not
+// distinguished: recursive RLock can still deadlock against a pending
+// writer, so the order graph treats a read lock like a write lock.
+func mutexAcquire(p *Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	if tn := namedTypeName(p.typeOf(sel.X)); tn != "Mutex" && tn != "RWMutex" {
+		return nil, false
+	}
+	if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// collectDirectLocks records the lock classes n acquires in its own body.
+func collectDirectLocks(p *Pass, n *FuncNode, sum *FuncSummary) {
+	ast.Inspect(n.Body(), func(node ast.Node) bool {
+		if lit, ok := node.(*ast.FuncLit); ok && lit.Body != n.Body() {
+			return false // the literal is its own node
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lockExpr, ok := mutexAcquire(p, call); ok {
+			if class := globalLockClass(p, lockExpr); class != "" {
+				if _, seen := sum.Locks[class]; !seen {
+					sum.Locks[class] = LockStep{Class: class, Pos: p.Fset.Position(call.Pos())}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// propagateLocks folds callee lock sets into n's; returns true on change.
+// Go-spawned calls are excluded: a lock acquired in a spawned goroutine is
+// not held in the caller's goroutine, so it cannot order against the
+// caller's held set.
+func propagateLocks(g *CallGraph, s *Summaries, n *FuncNode) bool {
+	sum := s.byNode[n]
+	changed := false
+	for _, e := range n.Out {
+		if e.Go || e.Callee == g.Unknown || e.Kind == EdgeUnknown {
+			continue
+		}
+		calleeSum := s.byNode[e.Callee]
+		if calleeSum == nil {
+			continue
+		}
+		for class, step := range calleeSum.Locks {
+			approx := e.Kind.Approx() || step.Approx
+			prev, seen := sum.Locks[class]
+			if seen && (!prev.Approx || approx) {
+				continue // keep the existing (equal-or-better) witness
+			}
+			sum.Locks[class] = LockStep{
+				Class:  class,
+				Via:    e.Callee.Name,
+				Pos:    n.Pkg.Fset.Position(e.Pos),
+				Approx: approx,
+			}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// effectKey identifies one (rule, parameter, path) resource slot.
+type effectKey struct {
+	rule  string
+	param int
+	path  string
+}
+
+// effectState is the pair of monotone bits for one slot.
+type effectState struct {
+	acquire, release bool
+	deferRelease     bool
+	pos              token.Position
+}
+
+// paramIndex maps n's receiver and parameter objects to their indexes
+// (-1 for the receiver).
+func paramIndex(p *Pass, n *FuncNode) map[types.Object]int {
+	idx := map[types.Object]int{}
+	if n.Decl == nil {
+		return idx // literal params are not mappable by callers here
+	}
+	if n.Decl.Recv != nil {
+		for _, f := range n.Decl.Recv.List {
+			for _, name := range f.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					idx[obj] = -1
+				}
+			}
+		}
+	}
+	i := 0
+	for _, f := range n.Decl.Type.Params.List {
+		if len(f.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range f.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				idx[obj] = i
+			}
+			i++
+		}
+	}
+	return idx
+}
+
+// rootedAtParam splits a selector chain rooted at a parameter into the
+// parameter index and the remaining path (".acct", "" for the parameter
+// itself). ok is false when the chain roots elsewhere.
+func rootedAtParam(p *Pass, params map[types.Object]int, e ast.Expr) (param int, path string, ok bool) {
+	key := exprKey(e)
+	if key == "" {
+		return 0, "", false
+	}
+	root, rest, _ := strings.Cut(key, ".")
+	// Resolve the root identifier to its object.
+	var rootID *ast.Ident
+	cur := unparen(e)
+	for {
+		if sel, isSel := cur.(*ast.SelectorExpr); isSel {
+			cur = unparen(sel.X)
+			continue
+		}
+		rootID, _ = cur.(*ast.Ident)
+		break
+	}
+	if rootID == nil || rootID.Name != root {
+		return 0, "", false
+	}
+	obj := p.Info.Uses[rootID]
+	if obj == nil {
+		return 0, "", false
+	}
+	idx, isParam := params[obj]
+	if !isParam {
+		return 0, "", false
+	}
+	if rest != "" {
+		rest = "." + rest
+	}
+	return idx, rest, true
+}
+
+// classifyTableCall matches one call against resourceTable the same way
+// classifyResource does and reports whether it is an acquire or a release
+// of which rule.
+func classifyTableCall(p *Pass, call *ast.CallExpr) (rule string, recvExpr ast.Expr, acquire, release bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, false, false
+	}
+	recv := namedTypeName(p.typeOf(sel.X))
+	method := sel.Sel.Name
+	for _, r := range resourceTable {
+		if r.recvType != recv {
+			continue
+		}
+		acquire, release = r.acquire[method], r.release[method]
+		if r.signed == method && len(call.Args) > 0 {
+			if tv, ok := p.Info.Types[call.Args[0]]; ok && tv.Value != nil &&
+				(tv.Value.Kind() == constant.Int || tv.Value.Kind() == constant.Float) {
+				switch constant.Sign(tv.Value) {
+				case 1:
+					acquire = true
+				case -1:
+					release = true
+				}
+			}
+		}
+		if acquire || release {
+			return r.recvType, sel.X, acquire, release
+		}
+	}
+	return "", nil, false, false
+}
+
+// collectDirectEffects records n's own table calls rooted at parameters.
+func collectDirectEffects(p *Pass, n *FuncNode) map[effectKey]*effectState {
+	bits := map[effectKey]*effectState{}
+	params := paramIndex(p, n)
+	if len(params) == 0 {
+		return bits
+	}
+	var walk func(node ast.Node, deferred bool)
+	walk = func(node ast.Node, deferred bool) {
+		ast.Inspect(node, func(sub ast.Node) bool {
+			switch sub := sub.(type) {
+			case *ast.FuncLit:
+				if sub.Body != n.Body() {
+					return false
+				}
+			case *ast.DeferStmt:
+				if sub != node {
+					walk(sub.Call, true)
+					return false
+				}
+			case *ast.CallExpr:
+				rule, recvExpr, acquire, release := classifyTableCall(p, sub)
+				if rule == "" {
+					return true
+				}
+				param, path, ok := rootedAtParam(p, params, recvExpr)
+				if !ok {
+					return true
+				}
+				k := effectKey{rule: rule, param: param, path: path}
+				st := bits[k]
+				if st == nil {
+					st = &effectState{pos: p.Fset.Position(sub.Pos())}
+					bits[k] = st
+				}
+				if acquire && !deferred {
+					st.acquire = true
+				}
+				if release {
+					st.release = true
+					if deferred {
+						st.deferRelease = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(n.Body(), false)
+	return bits
+}
+
+// propagateEffects folds callee net effects through static call sites into
+// n's effect bits; returns true on change. Only static, synchronous calls
+// propagate: an approximate candidate's net effect is not a fact about n.
+func propagateEffects(s *Summaries, effectBits map[*FuncNode]map[effectKey]*effectState, n *FuncNode) bool {
+	bits := effectBits[n]
+	if bits == nil {
+		return false
+	}
+	if n.Decl == nil || n.Pkg == nil {
+		return false
+	}
+	p := &Pass{Fset: n.Pkg.Fset, Files: n.Pkg.Files, Pkg: n.Pkg.Types, Info: n.Pkg.Info}
+	params := paramIndex(p, n)
+	if len(params) == 0 {
+		return false
+	}
+	changed := false
+	for _, e := range n.Out {
+		if e.Kind != EdgeStatic || e.Go || e.Call == nil {
+			continue
+		}
+		calleeBits := effectBits[e.Callee]
+		for k, calleeState := range calleeBits {
+			if calleeState.acquire == calleeState.release {
+				continue // balanced or empty: no net effect to inherit
+			}
+			arg := effectArgExpr(e.Call, k.param)
+			if arg == nil {
+				continue
+			}
+			param, path, ok := rootedAtParam(p, params, arg)
+			if !ok {
+				continue
+			}
+			nk := effectKey{rule: k.rule, param: param, path: path + k.path}
+			st := bits[nk]
+			if st == nil {
+				st = &effectState{pos: p.Fset.Position(e.Pos)}
+				bits[nk] = st
+			}
+			if calleeState.acquire && !st.acquire {
+				st.acquire, changed = true, true
+			}
+			if calleeState.release && !st.release {
+				st.release, changed = true, true
+				if calleeState.deferRelease {
+					st.deferRelease = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// effectArgExpr returns the caller-side expression bound to the callee's
+// parameter index (-1 = method receiver).
+func effectArgExpr(call *ast.CallExpr, param int) ast.Expr {
+	if param == -1 {
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		return sel.X
+	}
+	if param >= 0 && param < len(call.Args) {
+		return call.Args[param]
+	}
+	return nil
+}
+
+// exportEffects renders the unbalanced bits deterministically.
+func exportEffects(bits map[effectKey]*effectState) []ResEffect {
+	var out []ResEffect
+	for k, st := range bits {
+		if st.acquire == st.release {
+			continue
+		}
+		out = append(out, ResEffect{
+			Rule:    k.rule,
+			Param:   k.param,
+			Path:    k.path,
+			Acquire: st.acquire,
+			Defer:   st.deferRelease,
+			Pos:     st.pos,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Param != b.Param {
+			return a.Param < b.Param
+		}
+		return a.Path < b.Path
+	})
+	return out
+}
+
+// collectCtxFacts records carrier status, go statements, and Background/
+// TODO detach positions.
+func collectCtxFacts(p *Pass, n *FuncNode, s *Summaries, sum *FuncSummary) {
+	switch {
+	case n.Decl != nil:
+		sum.HasCtx = hasContextCarrier(p, n.Decl)
+	case n.Lit != nil:
+		sum.HasCtx = litHasCarrier(p, n.Lit)
+		if !sum.HasCtx && n.Parent != nil {
+			// A closure sees the enclosing function's ctx by capture.
+			if ps := s.byNode[n.Parent]; ps != nil {
+				sum.HasCtx = ps.HasCtx
+			}
+		}
+	}
+	ast.Inspect(n.Body(), func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			if node.Body != n.Body() {
+				return false
+			}
+		case *ast.GoStmt:
+			sum.Spawns = append(sum.Spawns, p.Fset.Position(node.Pos()))
+		case *ast.CallExpr:
+			if name, ok := contextPackageCall(p, node); ok && (name == "Background" || name == "TODO") {
+				sum.Detaches = append(sum.Detaches, p.Fset.Position(node.Pos()))
+			}
+		}
+		return true
+	})
+}
+
+// litHasCarrier checks a literal's own parameter list for a ctx carrier.
+func litHasCarrier(p *Pass, lit *ast.FuncLit) bool {
+	if lit.Type.Params == nil {
+		return false
+	}
+	for _, f := range lit.Type.Params.List {
+		t := p.typeOf(f.Type)
+		if isContextType(t) || carriesContextField(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// mayAllocate is the syntactic may-allocate test behind the
+// hotpath-closure analyzer: a coarse filter the compiler baseline refines
+// (a function the escape analysis proves clean overrides this bit).
+func mayAllocate(p *Pass, n *FuncNode) (bool, string, token.Position) {
+	var reason string
+	var pos token.Pos
+	report := func(r string, at token.Pos) {
+		if reason == "" {
+			reason, pos = r, at
+		}
+	}
+	ast.Inspect(n.Body(), func(node ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			if node.Body != n.Body() {
+				report("closure (func literal)", node.Pos())
+				return false
+			}
+		case *ast.CompositeLit:
+			report("composite literal", node.Pos())
+		case *ast.GoStmt:
+			report("goroutine launch", node.Pos())
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD {
+				if t := p.typeOf(node); t != nil && isStringType(t) {
+					report("string concatenation", node.Pos())
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(node.Fun).(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make", "new", "append":
+						report(b.Name(), node.Pos())
+					}
+				}
+			}
+			if tv, ok := p.Info.Types[unparen(node.Fun)]; ok && tv.IsType() && len(node.Args) == 1 {
+				dst := tv.Type
+				src := p.typeOf(node.Args[0])
+				if src != nil {
+					switch {
+					case types.IsInterface(dst) && !types.IsInterface(src) && !isUntypedNil(p, node.Args[0]):
+						report("interface conversion", node.Pos())
+					case isStringType(dst) && isByteOrRuneSlice(src), isByteOrRuneSlice(dst) && isStringType(src):
+						report("string/slice conversion", node.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+	if reason == "" {
+		return false, "", token.Position{}
+	}
+	return true, reason, p.Fset.Position(pos)
+}
+
+// ---------------------------------------------------------------------------
+// Summary cache
+//
+// The cache persists the computed summaries keyed by a content hash of
+// every package (its own sources plus, transitively via the key chain, its
+// module-internal dependencies). Loading is all-or-nothing: if any package
+// hash differs, everything is recomputed — a changed package necessarily
+// misses its own key, and its dependents miss theirs because the dep hash
+// feeds their key.
+
+// summaryCacheSchema versions the cache file shape.
+const summaryCacheSchema = 1
+
+type summaryCacheFile struct {
+	Schema    int                     `json:"schema"`
+	Keys      map[string]string       `json:"keys"` // import path → hash
+	Summaries map[string]*FuncSummary `json:"summaries"`
+}
+
+// packageHashes computes the cache key of every module package: the hash
+// of its file contents combined with its module-internal dependency keys.
+func packageHashes(mod *Module) (map[string]string, error) {
+	keys := map[string]string{}
+	for _, pkg := range mod.Pkgs { // topological: deps hashed first
+		h := sha256.New()
+		var names []string
+		for _, f := range pkg.Files {
+			names = append(names, mod.Fset.Position(f.Pos()).Filename)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			raw, err := os.ReadFile(name)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(h, "%s\n", name)
+			_, _ = h.Write(raw) // hash.Hash.Write never returns an error
+		}
+		var deps []string
+		for _, imp := range pkg.Types.Imports() {
+			if k, ok := keys[imp.Path()]; ok {
+				deps = append(deps, imp.Path()+"="+k)
+			}
+		}
+		sort.Strings(deps)
+		for _, d := range deps {
+			fmt.Fprintf(h, "dep %s\n", d)
+		}
+		keys[pkg.ImportPath] = hex.EncodeToString(h.Sum(nil))
+	}
+	return keys, nil
+}
+
+// LoadOrComputeSummaries returns the module's summaries, reusing the cache
+// at path when every package hash matches. An empty path disables caching.
+// The boolean result reports a cache hit.
+func LoadOrComputeSummaries(g *CallGraph, path string) (*Summaries, bool, error) {
+	if path == "" {
+		return ComputeSummaries(g), false, nil
+	}
+	keys, err := packageHashes(g.Mod)
+	if err != nil {
+		return nil, false, err
+	}
+	if raw, err := os.ReadFile(path); err == nil {
+		var cached summaryCacheFile
+		if json.Unmarshal(raw, &cached) == nil && cached.Schema == summaryCacheSchema && sameKeys(cached.Keys, keys) {
+			s := &Summaries{byNode: map[*FuncNode]*FuncSummary{}, byName: cached.Summaries}
+			complete := true
+			for _, n := range g.Nodes {
+				sum, ok := cached.Summaries[n.Name]
+				if !ok {
+					complete = false
+					break
+				}
+				s.byNode[n] = sum
+			}
+			if complete {
+				return s, true, nil
+			}
+		}
+	}
+	s := ComputeSummaries(g)
+	cache := summaryCacheFile{Schema: summaryCacheSchema, Keys: keys, Summaries: s.byName}
+	if raw, err := json.MarshalIndent(&cache, "", " "); err == nil {
+		// Best-effort: an unwritable cache must not fail the lint run.
+		_ = os.WriteFile(path, append(raw, '\n'), 0o644)
+	}
+	return s, false, nil
+}
+
+func sameKeys(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

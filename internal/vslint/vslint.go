@@ -43,16 +43,26 @@ const (
 
 // Finding is one reported violation.
 type Finding struct {
+	// Analyzer names the reporting analyzer; when several analyzers fire
+	// at the same position the finding is merged and the names are joined
+	// with "+".
 	Analyzer string
 	Pos      token.Position
 	Message  string
 	Severity string
+	// Approx marks a finding that depends on a conservative dispatch guess
+	// (interface or signature-matched callee); such findings are info
+	// severity so a guessed call edge never hard-fails CI.
+	Approx bool
 }
 
 func (f Finding) String() string {
 	sev := ""
 	if f.Severity == SeverityInfo {
 		sev = " (advisory)"
+	}
+	if f.Approx {
+		sev += " (approx)"
 	}
 	return fmt.Sprintf("%s:%d:%d: [%s] %s%s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message, sev)
 }
@@ -70,6 +80,11 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	// Interproc is set when the run includes the module-level analyzers;
+	// per-package checks that a module analyzer subsumes (the no-carrier
+	// goroutine rule in ctx-propagation) stand down to avoid duplicates.
+	Interproc bool
 
 	analyzer string
 	report   func(f Finding)
@@ -137,6 +152,11 @@ func CheckPackage(pkg *Package, analyzers []*Analyzer) []Finding {
 			out = append(out, f)
 		}
 	}
+	return dedupeFindings(sortFindings(out))
+}
+
+// sortFindings orders findings by position, then analyzer name.
+func sortFindings(out []Finding) []Finding {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -151,6 +171,45 @@ func CheckPackage(pkg *Package, analyzers []*Analyzer) []Finding {
 		return out[i].Analyzer < out[j].Analyzer
 	})
 	return out
+}
+
+// dedupeFindings merges findings reported at the same position (span-leak
+// and resource-balance both firing on one early return, say) into a single
+// finding: analyzer names joined with "+", messages with "; ". Error
+// severity wins over info, and the merged finding is approximate only when
+// every constituent is. Input must be position-sorted.
+func dedupeFindings(in []Finding) []Finding {
+	var out []Finding
+	for _, f := range in {
+		if len(out) > 0 {
+			prev := &out[len(out)-1]
+			if prev.Pos.Filename == f.Pos.Filename && prev.Pos.Line == f.Pos.Line && prev.Pos.Column == f.Pos.Column {
+				if !containsAnalyzer(prev.Analyzer, f.Analyzer) {
+					prev.Analyzer += "+" + f.Analyzer
+				}
+				if prev.Message != f.Message && !strings.Contains(prev.Message+"; ", f.Message+"; ") {
+					prev.Message += "; " + f.Message
+				}
+				if f.Severity == SeverityError {
+					prev.Severity = SeverityError
+				}
+				prev.Approx = prev.Approx && f.Approx
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// containsAnalyzer reports whether the "+"-joined analyzer list names a.
+func containsAnalyzer(list, a string) bool {
+	for _, name := range strings.Split(list, "+") {
+		if name == a {
+			return true
+		}
+	}
+	return false
 }
 
 const (
@@ -228,6 +287,9 @@ func collectSuppressions(pkg *Package) *suppressions {
 	sup := &suppressions{byLine: map[string]map[int]*nolintSet{}}
 	known := map[string]bool{}
 	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range AllInterproc() {
 		known[a.Name] = true
 	}
 	for _, f := range pkg.Files {

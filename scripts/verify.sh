@@ -32,8 +32,16 @@ fi
 step "go vet ./..."
 go vet ./...
 
-step "vslint (hot-path + concurrency invariants)"
-go run ./cmd/vslint ./...
+step "vslint -interproc (hot-path, concurrency, and whole-program invariants)"
+# ./... matches every package, including internal/vslint and cmd/vslint —
+# the linter self-lints. With BENCH_OUT set, the whole-program call graph
+# lands next to the findings JSON for the CI artifact upload.
+if [ -n "${BENCH_OUT:-}" ]; then
+    mkdir -p "$BENCH_OUT"
+    go run ./cmd/vslint -interproc -callgraph-dot "$BENCH_OUT/callgraph.dot" ./...
+else
+    go run ./cmd/vslint -interproc ./...
+fi
 
 if [ -z "${SKIP_COMPILER_LINT:-}" ]; then
     step "vslint -compiler (escape/bounds-check gate vs bench/vslint_baseline.json)"
