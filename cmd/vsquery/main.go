@@ -32,7 +32,9 @@ import (
 	"time"
 
 	vertexsurge "repro"
+	"repro/internal/engine"
 	"repro/internal/repl"
+	"repro/internal/telemetry"
 )
 
 type paramFlags map[string]any
@@ -86,6 +88,8 @@ func main() {
 		analyze     = flag.Bool("analyze", false, "execute with tracing and print estimate-vs-actual per operator")
 		timeout     = flag.Duration("timeout", 0, "cancel the query after this deadline (0 = none)")
 		interactive = flag.Bool("i", false, "interactive shell (ignores -query/-file)")
+		statsOut    = flag.String("stats-out", "", "append per-operator est-vs-actual cardinality observations (JSONL) to this file")
+		traceOut    = flag.String("trace-out", "", "write the executed query's span tree as a Chrome trace-event JSON file (chrome://tracing)")
 	)
 	flag.Var(params, "param", "query parameter name=value (repeatable)")
 	flag.Parse()
@@ -106,6 +110,18 @@ func main() {
 	db, err := vertexsurge.Open(*data, vertexsurge.Options{Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *statsOut != "" {
+		sink, err := engine.OpenStatsSink(*statsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if cerr := sink.Close(); cerr != nil {
+				log.Printf("stats sink close: %v", cerr)
+			}
+		}()
+		db.Engine().SetStatsSink(sink)
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -137,12 +153,39 @@ func main() {
 		fmt.Print(a.Render())
 		return
 	}
+	// Registry administration (SHOW QUERIES / KILL <id>) — the same
+	// statements the REPL accepts — bypasses the Cypher parser.
+	if handled, out, err := repl.Admin(src); handled {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	var root *telemetry.Span
+	if *traceOut != "" {
+		ctx, root = telemetry.NewTrace(ctx, "query")
+	}
 	start := time.Now()
 	res, err := db.QueryContext(ctx, src, params)
 	if err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
+	if root != nil {
+		root.End()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := telemetry.WriteChromeTrace(f, root.Snapshot()); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vsquery: chrome trace written to %s\n", *traceOut)
+	}
 	if res.Plan != "" {
 		fmt.Print(res.Plan)
 		return

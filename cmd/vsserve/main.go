@@ -15,6 +15,11 @@
 //	-query-timeout 30s           cancel queries exceeding this deadline → 504 (0 = none)
 //	-cache-bytes 64MiB           engine-level reachability-matrix cache (-1 = off)
 //	-memory-budget N             cap live intermediate bytes across queries (0 = unlimited)
+//	-stats-out stats.jsonl       append per-operator est-vs-actual observations per query
+//
+// Introspection: GET /debug/queries lists in-flight queries (live
+// per-operator progress) and the completed history; DELETE
+// /debug/queries/{id} kills a running query.
 package main
 
 import (
@@ -47,6 +52,7 @@ func main() {
 		queryTimeout = flag.Duration("query-timeout", 0, "cancel queries exceeding this deadline with 504 (0 = none)")
 		cacheBytes   = flag.Int64("cache-bytes", engine.DefaultCacheBytes, "engine-level reachability-matrix cache bytes (0 or negative = off)")
 		memoryBudget = flag.Int64("memory-budget", 0, "cap live intermediate bytes across queries (0 = unlimited)")
+		statsOut     = flag.String("stats-out", "", "append per-operator est-vs-actual cardinality observations (JSONL) of every completed query to this file")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -66,6 +72,18 @@ func main() {
 		CacheBytes:   cache,
 		MemoryBudget: *memoryBudget,
 	})
+	if *statsOut != "" {
+		sink, err := engine.OpenStatsSink(*statsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if cerr := sink.Close(); cerr != nil {
+				log.Printf("stats sink close: %v", cerr)
+			}
+		}()
+		eng.SetStatsSink(sink)
+	}
 
 	var logger *slog.Logger
 	if *accessLog || *slowQuery > 0 {

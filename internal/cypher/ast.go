@@ -8,6 +8,10 @@ import (
 
 // Query is a parsed query.
 type Query struct {
+	// Raw is the original query text as given to Parse — the registry's
+	// display string for SHOW QUERIES and /debug/queries. Empty for
+	// programmatically constructed Query values.
+	Raw string
 	// Profile marks a `PROFILE <query>`: execute and attach the
 	// per-operator span tree to the result.
 	Profile bool

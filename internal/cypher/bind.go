@@ -40,13 +40,18 @@ func Run(eng *engine.Engine, q *Query, params map[string]any) (*Result, error) {
 // Result.Profile; when the caller already traces ctx (the server's
 // slow-query path), its spans accumulate there instead and Profile is left
 // for the caller to fill.
-func RunContext(ctx context.Context, eng *engine.Engine, q *Query, params map[string]any) (*Result, error) {
-	// Plain EXPLAIN renders the plan without executing — no metrics, the
-	// query never runs.
+//
+// Every executed query also registers with telemetry.DefaultQueries: it is
+// visible on /debug/queries and SHOW QUERIES while running, killable by id
+// (KILL cancels the context this function derives, which the engine
+// observes cooperatively), and lands in the history ring on completion.
+func RunContext(ctx context.Context, eng *engine.Engine, q *Query, params map[string]any) (res *Result, err error) {
+	// Plain EXPLAIN renders the plan without executing — no metrics and no
+	// registry entry, the query never runs.
 	if q.Explain && !q.Analyze {
-		plan, err := ExplainQuery(eng, q, params)
-		if err != nil {
-			return nil, err
+		plan, eerr := ExplainQuery(eng, q, params)
+		if eerr != nil {
+			return nil, eerr
 		}
 		return &Result{Plan: plan}, nil
 	}
@@ -55,11 +60,33 @@ func RunContext(ctx context.Context, eng *engine.Engine, q *Query, params map[st
 	defer telemetry.QueriesInFlight.Add(-1)
 	defer telemetry.QueriesTotal.Inc()
 
+	qctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	qi := telemetry.DefaultQueries.Register(q.Raw, telemetry.RequestIDFromContext(ctx), cancel)
+	ctx = telemetry.WithQuery(qctx, qi)
+	defer func() {
+		// Runs during panic unwinding too (the server's recover middleware
+		// reports the 500; here the registry entry moves to history instead
+		// of leaking as forever-running).
+		if r := recover(); r != nil {
+			telemetry.DefaultQueries.Complete(qi, 0, fmt.Errorf("panic: %v", r))
+			panic(r)
+		}
+		var rows int64
+		if res != nil {
+			rows = int64(len(res.Rows))
+			if res.Analysis != nil {
+				rows = res.Analysis.Count
+			}
+		}
+		telemetry.DefaultQueries.Complete(qi, rows, err)
+	}()
+
 	if q.Explain && q.Analyze {
-		a, err := AnalyzeQuery(ctx, eng, q, params)
-		if err != nil {
+		a, aerr := AnalyzeQuery(ctx, eng, q, params)
+		if aerr != nil {
 			telemetry.QueriesFailed.Inc()
-			return nil, err
+			return nil, aerr
 		}
 		return &Result{Analysis: a}, nil
 	}
@@ -68,7 +95,7 @@ func RunContext(ctx context.Context, eng *engine.Engine, q *Query, params map[st
 	if q.Profile && telemetry.CurrentSpan(ctx) == nil {
 		ctx, root = telemetry.NewTrace(ctx, "query")
 	}
-	res, err := runAll(ctx, eng, q, params)
+	res, err = runAll(ctx, eng, q, params)
 	if err != nil {
 		telemetry.QueriesFailed.Inc()
 		// End the profiling root on the failure path too: leaving it open

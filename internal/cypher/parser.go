@@ -21,6 +21,7 @@ func Parse(src string) (*Query, error) {
 	if err := q.validate(); err != nil {
 		return nil, err
 	}
+	q.Raw = src
 	return q, nil
 }
 

@@ -12,6 +12,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bitmatrix"
@@ -54,6 +55,10 @@ type Engine struct {
 	opts  Options
 	acct  *exec.Accountant
 	cache *exec.MatrixCache
+	// stats, when set, receives per-operator est-vs-actual observations
+	// from every completed Match (see stats.go). Atomic so the sink can be
+	// attached while queries are already running.
+	stats atomic.Pointer[StatsSink]
 }
 
 // New returns an engine over g.
@@ -80,6 +85,11 @@ func (e *Engine) CacheStats() (entries int, bytes int64) {
 // MemoryInUse reports the bytes currently reserved against the engine's
 // memory budget (live intermediates plus cache residency).
 func (e *Engine) MemoryInUse() int64 { return e.acct.InUse() }
+
+// SetStatsSink attaches (or, with nil, detaches) the cardinality-statistics
+// sink every completed Match observes into. Safe to call concurrently with
+// running queries.
+func (e *Engine) SetStatsSink(s *StatsSink) { e.stats.Store(s) }
 
 // Timings is the per-stage breakdown of one query (Figure 8's components).
 // Stage times are summed across operators; with the scheduler running
@@ -166,11 +176,24 @@ func (e *Engine) Match(pat *pattern.Pattern, opts MatchOptions) (*MatchResult, e
 // expand matrix byte counter of the default metrics registry.
 func (e *Engine) MatchContext(ctx context.Context, pat *pattern.Pattern, opts MatchOptions) (*MatchResult, error) {
 	start := time.Now()
+	qi := telemetry.CurrentQuery(ctx)
+	// With a stats sink attached, wrap the match in its own span subtree so
+	// the est-vs-actual join sees a complete set of operator actuals at
+	// return — whether or not the caller is already tracing.
+	sink := e.stats.Load()
+	var ssp *telemetry.Span
+	if sink != nil {
+		ctx, ssp = telemetry.StartSpan(ctx, "match")
+		if ssp == nil {
+			ctx, ssp = telemetry.NewTrace(ctx, "match")
+		}
+	}
 	res := &MatchResult{}
 	for _, v := range pat.Vertices {
 		res.Names = append(res.Names, v.Name)
 	}
 
+	qi.SetPhase(telemetry.PhasePlan)
 	t0 := time.Now()
 	_, psp := telemetry.StartSpan(ctx, "plan")
 	var plan *planner.Plan
@@ -182,6 +205,7 @@ func (e *Engine) MatchContext(ctx context.Context, pat *pattern.Pattern, opts Ma
 	}
 	if err != nil {
 		psp.End()
+		ssp.End()
 		return nil, err
 	}
 	psp.SetInt("vertices", int64(len(pat.Vertices)))
@@ -204,12 +228,14 @@ func (e *Engine) MatchContext(ctx context.Context, pat *pattern.Pattern, opts Ma
 		}
 		res.Timings.Total = time.Since(start)
 		e.recordMatch(res)
+		e.observeStats(sink, ssp, qi, pat, res)
 		return res, nil
 	}
 
 	// Lower the plan into its physical-operator DAG and schedule it:
 	// independent expands run concurrently (bounded by Options.Workers),
 	// the intersect waits on all of them, the aggregate on the intersect.
+	qi.SetPhase(telemetry.PhaseExecute)
 	qc := exec.NewQueryContext(ctx, e.acct, e.opts.Workers)
 	expandOps, dag, expandNodes := e.lowerExpands(plan)
 	iop := &exec.IntersectOp{
@@ -233,6 +259,7 @@ func (e *Engine) MatchContext(ctx context.Context, pat *pattern.Pattern, opts Ma
 	dag.Add(aop, inode)
 
 	if err := dag.Run(qc); err != nil {
+		ssp.End()
 		return nil, err
 	}
 
@@ -243,7 +270,19 @@ func (e *Engine) MatchContext(ctx context.Context, pat *pattern.Pattern, opts Ma
 	res.Tuples = aop.Tuples
 	res.Timings.Total = time.Since(start)
 	e.recordMatch(res)
+	e.observeStats(sink, ssp, qi, pat, res)
 	return res, nil
+}
+
+// observeStats ends the stats span subtree and appends the match's
+// per-operator est-vs-actual records to the attached sink (no-op without
+// one). Sink write failures never fail the query.
+func (e *Engine) observeStats(sink *StatsSink, ssp *telemetry.Span, qi *telemetry.QueryInfo, pat *pattern.Pattern, res *MatchResult) {
+	ssp.End()
+	if sink == nil {
+		return
+	}
+	_ = sink.Observe(qi.ID(), e.g, pat, res, ssp.Snapshot())
 }
 
 // lowerExpands builds one ExpandOp per distinct expansion of the plan

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/telemetry"
+)
+
+// Cardinality-statistics sink: every completed Match can append its
+// per-operator est-vs-actual observations (the EXPLAIN ANALYZE join of
+// planner estimates against span-tree actuals) as one JSONL record per
+// operator. Keyed by a canonical pattern signature and the graph scale,
+// the file is the calibration corpus the ROADMAP's feedback-driven
+// cost-based planner consumes: fixed-factor estimatePairs can be replaced
+// by histograms fitted to exactly these records.
+
+// StatsSchemaVersion versions the JSONL record shape; readers skip records
+// with a schema they do not understand.
+const StatsSchemaVersion = 1
+
+// StatsObservation is one operator's est-vs-actual record — an AnalyzedOp
+// row stamped with when it ran, which query produced it, and against which
+// pattern and graph scale.
+type StatsObservation struct {
+	Schema   int   `json:"schema"`
+	TsUnixMs int64 `json:"ts_unix_ms"`
+	// QueryID is the registry id of the producing query (0 when the match
+	// ran outside a registered query).
+	QueryID uint64 `json:"query_id,omitempty"`
+	// Pattern is the canonical signature of the matched pattern (labels and
+	// determiners, not variable names) — the grouping key for calibration.
+	Pattern string `json:"pattern"`
+	// GraphVertices/GraphEdges record the scale the observation was taken
+	// at; estimates calibrated at one scale do not transfer blindly.
+	GraphVertices int     `json:"graph_vertices"`
+	GraphEdges    int     `json:"graph_edges"`
+	Op            string  `json:"op"`
+	Detail        string  `json:"detail,omitempty"`
+	EstRows       float64 `json:"est_rows"`
+	ActualRows    int64   `json:"actual_rows"`
+	ErrRatio      float64 `json:"err_ratio"`
+	TimeMs        float64 `json:"time_ms"`
+	Kernel        string  `json:"kernel,omitempty"`
+	Memo          string  `json:"memo,omitempty"`
+	Cache         string  `json:"cache,omitempty"`
+	MatrixBytes   int64   `json:"matrix_bytes,omitempty"`
+}
+
+// StatsSink appends StatsObservation records as JSON lines. Safe for
+// concurrent use (one query's records are written contiguously).
+type StatsSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	c   io.Closer
+}
+
+// NewStatsSink writes observations to w.
+func NewStatsSink(w io.Writer) *StatsSink {
+	return &StatsSink{enc: json.NewEncoder(w)}
+}
+
+// OpenStatsSink opens (appending, creating if needed) a JSONL stats file.
+func OpenStatsSink(path string) (*StatsSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("stats sink: %w", err)
+	}
+	s := NewStatsSink(f)
+	s.c = f
+	return s, nil
+}
+
+// Close closes the underlying file when the sink owns one.
+func (s *StatsSink) Close() error {
+	if s == nil || s.c == nil {
+		return nil
+	}
+	return s.c.Close()
+}
+
+// Observe joins one completed match's plan estimates against its span-tree
+// actuals and appends one record per operator. qid is the registry id of
+// the producing query (0 outside a registered query). Write errors are
+// returned but the query result is unaffected — statistics are advisory.
+func (s *StatsSink) Observe(qid uint64, g *graph.Graph, pat *pattern.Pattern, res *MatchResult, snap *telemetry.SpanSnapshot) error {
+	if s == nil {
+		return nil
+	}
+	sig := PatternSignature(pat)
+	now := time.Now().UnixMilli()
+	ops := joinPlanAndSpans(pat, res, snap)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, op := range ops {
+		rec := StatsObservation{
+			Schema:        StatsSchemaVersion,
+			TsUnixMs:      now,
+			QueryID:       qid,
+			Pattern:       sig,
+			GraphVertices: g.NumVertices(),
+			GraphEdges:    g.NumEdges(),
+			Op:            op.Op,
+			Detail:        op.Detail,
+			EstRows:       op.EstRows,
+			ActualRows:    op.ActualRows,
+			ErrRatio:      op.ErrRatio,
+			TimeMs:        op.TimeMs,
+			Kernel:        op.Kernel,
+			Memo:          op.Memo,
+			Cache:         op.Cache,
+			MatrixBytes:   op.MatrixBytes,
+		}
+		if err := s.enc.Encode(&rec); err != nil {
+			return fmt.Errorf("stats sink: %w", err)
+		}
+	}
+	return nil
+}
+
+// PatternSignature renders a canonical, variable-name-free signature of a
+// pattern: vertices as sorted label sets in declaration order, edges as
+// (src index)-[determiner]->(dst index). Two queries differing only in
+// variable naming share a signature, so their observations pool.
+func PatternSignature(pat *pattern.Pattern) string {
+	var b strings.Builder
+	for i, v := range pat.Vertices {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		labels := append([]string(nil), v.Labels...)
+		sort.Strings(labels)
+		fmt.Fprintf(&b, "(%d", i)
+		for _, l := range labels {
+			b.WriteByte(':')
+			b.WriteString(l)
+		}
+		if len(v.PropEq) > 0 || len(v.PropCmp) > 0 {
+			b.WriteString("?") // property-filtered: selectivity differs
+		}
+		b.WriteByte(')')
+	}
+	b.WriteByte(';')
+	for i, e := range pat.Edges {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d-[%s]->%d",
+			pat.VertexIndex(e.Src), e.D, pat.VertexIndex(e.Dst))
+	}
+	return b.String()
+}

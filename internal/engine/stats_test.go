@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/telemetry"
+)
+
+func statsPattern() *pattern.Pattern {
+	return &pattern.Pattern{
+		Vertices: []pattern.Vertex{
+			{Name: "p", Labels: []string{"SIGA"}},
+			{Name: "q", Labels: []string{"SIGB"}},
+		},
+		Edges: []pattern.Edge{
+			{Src: "p", Dst: "q", D: knowsDet(1, 2)},
+		},
+	}
+}
+
+// TestStatsSinkObservations runs a match with a sink attached and decodes
+// the JSONL: one versioned record per plan operator, stamped with the
+// pattern signature and graph scale, expands carrying est-vs-actual rows.
+func TestStatsSinkObservations(t *testing.T) {
+	g := socialGraph(t)
+	e := New(g, Options{})
+	var buf bytes.Buffer
+	e.SetStatsSink(NewStatsSink(&buf))
+
+	pat := statsPattern()
+	if _, err := e.MatchContext(context.Background(), pat, MatchOptions{CountOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []StatsObservation
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec StatsObservation
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) == 0 {
+		t.Fatal("sink received no observations")
+	}
+	byOp := map[string]int{}
+	for _, rec := range recs {
+		byOp[rec.Op]++
+	}
+	if byOp["plan"] != 1 {
+		t.Fatalf("plan records = %d, want 1 (ops %v)", byOp["plan"], byOp)
+	}
+	if byOp["scan"] != len(pat.Vertices) {
+		t.Fatalf("scan records = %d, want one per pattern vertex (%d)", byOp["scan"], len(pat.Vertices))
+	}
+	if byOp["expand"] == 0 {
+		t.Fatalf("no expand records (ops %v)", byOp)
+	}
+
+	sig := PatternSignature(pat)
+	sawExpand := false
+	for _, rec := range recs {
+		if rec.Schema != StatsSchemaVersion {
+			t.Fatalf("record schema = %d, want %d", rec.Schema, StatsSchemaVersion)
+		}
+		if rec.Pattern != sig {
+			t.Fatalf("record pattern = %q, want %q", rec.Pattern, sig)
+		}
+		if rec.GraphVertices != g.NumVertices() || rec.GraphEdges != g.NumEdges() {
+			t.Fatalf("record graph scale = %d/%d, want %d/%d",
+				rec.GraphVertices, rec.GraphEdges, g.NumVertices(), g.NumEdges())
+		}
+		if rec.TsUnixMs == 0 || rec.Op == "" {
+			t.Fatalf("record missing stamp: %+v", rec)
+		}
+		if rec.Op == "expand" {
+			sawExpand = true
+			if rec.EstRows <= 0 || rec.ActualRows <= 0 {
+				t.Fatalf("expand record without est/actual rows: %+v", rec)
+			}
+		}
+	}
+	if !sawExpand {
+		t.Fatalf("no expand observation among %d records", len(recs))
+	}
+}
+
+// TestStatsSinkQueryID checks the registry id rides along when the match
+// runs under a registered query, and stays 0 otherwise.
+func TestStatsSinkQueryID(t *testing.T) {
+	g := figure3(t)
+	e := New(g, Options{})
+	var buf bytes.Buffer
+	e.SetStatsSink(NewStatsSink(&buf))
+
+	qi := telemetry.DefaultQueries.Register("stats test", "", nil)
+	ctx := telemetry.WithQuery(context.Background(), qi)
+	if _, err := e.MatchContext(ctx, statsPattern(), MatchOptions{CountOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	telemetry.DefaultQueries.Complete(qi, 0, nil)
+
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("no observations written")
+	}
+	var rec StatsObservation
+	if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.QueryID != qi.ID() {
+		t.Fatalf("record query_id = %d, want %d", rec.QueryID, qi.ID())
+	}
+
+	buf.Reset()
+	if _, err := e.MatchContext(context.Background(), statsPattern(), MatchOptions{CountOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+	sc = bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("no observations written for unregistered match")
+	}
+	var rec2 StatsObservation
+	if err := json.Unmarshal(sc.Bytes(), &rec2); err != nil {
+		t.Fatal(err)
+	}
+	if rec2.QueryID != 0 {
+		t.Fatalf("unregistered match query_id = %d, want 0", rec2.QueryID)
+	}
+}
+
+func TestPatternSignatureCanonical(t *testing.T) {
+	a := &pattern.Pattern{
+		Vertices: []pattern.Vertex{
+			{Name: "x", Labels: []string{"SIGB", "SIGA"}},
+			{Name: "y", Labels: []string{"Person"}},
+		},
+		Edges: []pattern.Edge{{Src: "x", Dst: "y", D: knowsDet(1, 3)}},
+	}
+	b := &pattern.Pattern{
+		Vertices: []pattern.Vertex{
+			{Name: "p", Labels: []string{"SIGA", "SIGB"}},
+			{Name: "q", Labels: []string{"Person"}},
+		},
+		Edges: []pattern.Edge{{Src: "p", Dst: "q", D: knowsDet(1, 3)}},
+	}
+	sa, sb := PatternSignature(a), PatternSignature(b)
+	if sa != sb {
+		t.Fatalf("signatures differ for renamed/reordered patterns:\n%s\n%s", sa, sb)
+	}
+	// Property filters change selectivity, so they must change the signature.
+	a.Vertices[0].PropEq = map[string]any{"id": int64(1)}
+	if PatternSignature(a) == sb {
+		t.Fatal("property-filtered pattern shares a signature with unfiltered")
+	}
+}
+
+func TestStatsSinkNilSafe(t *testing.T) {
+	var s *StatsSink
+	if err := s.Observe(0, nil, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // QueryContext carries the per-query execution state every operator sees:
@@ -25,6 +27,12 @@ type QueryContext struct {
 	ctx     context.Context //vs:nolint(ctx-propagation) QueryContext IS the sanctioned per-query carrier; operators receive it as a parameter
 	budget  *Accountant
 	workers int
+
+	// query is the registry entry of the running query (nil when the
+	// execution is unregistered — direct engine calls, tests). The
+	// scheduler and operators feed its progress counters; every QueryInfo
+	// method is nil-safe, so operators never branch on registration.
+	query *telemetry.QueryInfo
 
 	// activeExpands tracks currently running ExpandOps to detect (and
 	// count) genuine overlap.
@@ -37,8 +45,17 @@ func NewQueryContext(ctx context.Context, budget *Accountant, workers int) *Quer
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &QueryContext{ctx: ctx, budget: budget, workers: workers}
+	return &QueryContext{
+		ctx:     ctx,
+		budget:  budget,
+		workers: workers,
+		query:   telemetry.CurrentQuery(ctx),
+	}
 }
+
+// Query returns the registry entry of the running query (nil when the
+// execution is not registered).
+func (qc *QueryContext) Query() *telemetry.QueryInfo { return qc.query }
 
 // Context returns the query's context (carries deadline and trace).
 func (qc *QueryContext) Context() context.Context { return qc.ctx }
@@ -104,6 +121,10 @@ func (d *DAG) Run(qc *QueryContext) error {
 	}
 	done := make(chan doneMsg, len(d.nodes))
 
+	// Publish the DAG size to the query registry up front so /debug/queries
+	// shows queued-vs-done progress from the first snapshot.
+	qc.query.AddOps(int64(len(d.nodes)))
+
 	var ready []*Node
 	for _, n := range d.nodes {
 		if n.ndeps == 0 {
@@ -123,6 +144,7 @@ func (d *DAG) Run(qc *QueryContext) error {
 			n := ready[len(ready)-1]
 			ready = ready[:len(ready)-1]
 			running++
+			qc.query.OpStarted()
 			go func(n *Node) {
 				done <- doneMsg{node: n, err: n.op.Run(qc)}
 			}(n)
@@ -138,6 +160,7 @@ func (d *DAG) Run(qc *QueryContext) error {
 		msg := <-done
 		running--
 		remaining--
+		qc.query.OpFinished()
 		if msg.err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("%s: %w", msg.node.op.Name(), msg.err)
 		}

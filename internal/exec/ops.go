@@ -59,6 +59,8 @@ func (op *ExpandOp) Run(qc *QueryContext) error {
 	if r, ok := op.Cache.Get(op.Key); ok {
 		op.Result = r
 		op.CacheState = "hit"
+		qc.query.AddCacheHit()
+		qc.query.AddMatrixBytes(r.Stats.MatrixBytes)
 		sp.SetStr("cache", "hit")
 		annotateShared(sp, r, op.Sources, op.D)
 		sp.End()
@@ -80,6 +82,7 @@ func (op *ExpandOp) Run(qc *QueryContext) error {
 	}
 	op.Wall = time.Since(t0)
 	op.Result = r
+	qc.query.AddMatrixBytes(r.Stats.MatrixBytes)
 	sp.End()
 	// Cached results are shared across queries and must stay immutable;
 	// the join assembly clones before AND-ing (copy-on-AND), so sharing

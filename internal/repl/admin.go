@@ -1,0 +1,94 @@
+package repl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// Admin intercepts the registry-administration statements shared by the
+// REPL and vsquery — they are operational commands, not Cypher, so they
+// bypass the parser:
+//
+//	SHOW QUERIES   list in-flight queries (id, phase, progress) and the
+//	               completed history ring
+//	KILL <id>      cancel the in-flight query with that id
+//
+// It reports whether src was such a statement; when handled, out is the
+// text to print and err a command-level failure (unknown id, bad syntax).
+func Admin(src string) (handled bool, out string, err error) {
+	fields := strings.Fields(strings.TrimSuffix(strings.TrimSpace(src), ";"))
+	if len(fields) == 0 {
+		return false, "", nil
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "SHOW":
+		if len(fields) != 2 || !strings.EqualFold(fields[1], "QUERIES") {
+			return false, "", nil
+		}
+		return true, renderQueries(telemetry.DefaultQueries.Snapshot()), nil
+	case "KILL":
+		if len(fields) != 2 {
+			return true, "", fmt.Errorf("usage: KILL <id>")
+		}
+		id, perr := strconv.ParseUint(fields[1], 10, 64)
+		if perr != nil {
+			return true, "", fmt.Errorf("usage: KILL <id> (got %q)", fields[1])
+		}
+		if !telemetry.DefaultQueries.Kill(id) {
+			return true, "", fmt.Errorf("no running query %d", id)
+		}
+		return true, fmt.Sprintf("query %d killed\n", id), nil
+	}
+	return false, "", nil
+}
+
+// renderQueries draws SHOW QUERIES' two tables: running queries with live
+// progress, then the completed history (newest first).
+func renderQueries(active []telemetry.QuerySnapshot, history []telemetry.QueryRecord) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "running (%d):\n", len(active))
+	if len(active) > 0 {
+		fmt.Fprintf(&b, "  %-5s %-9s %-10s %-14s %-12s %s\n",
+			"id", "phase", "elapsed", "ops", "pairs", "query")
+		for _, q := range active {
+			p := q.Progress
+			state := q.Phase
+			if q.Killed {
+				state = "killed"
+			}
+			fmt.Fprintf(&b, "  %-5d %-9s %-10s %-14s %-12d %s\n",
+				q.ID, state, fmt.Sprintf("%.1fms", q.ElapsedMs),
+				fmt.Sprintf("%d/%d run %d", p.OpsDone, p.OpsTotal, p.OpsRunning),
+				p.Pairs, oneLine(q.Query))
+		}
+	}
+	fmt.Fprintf(&b, "history (%d, newest first):\n", len(history))
+	if len(history) > 0 {
+		fmt.Fprintf(&b, "  %-5s %-7s %-10s %-8s %s\n", "id", "status", "duration", "rows", "query")
+		for _, q := range history {
+			detail := oneLine(q.Query)
+			if q.Error != "" {
+				detail += "  (" + q.Error + ")"
+			}
+			fmt.Fprintf(&b, "  %-5d %-7s %-10s %-8d %s\n",
+				q.ID, q.Status, fmt.Sprintf("%.1fms", q.DurationMs), q.Rows, detail)
+		}
+	}
+	return b.String()
+}
+
+// oneLine collapses a query's text onto one row, truncated for the table.
+func oneLine(q string) string {
+	q = strings.Join(strings.Fields(q), " ")
+	if q == "" {
+		return "<unnamed>"
+	}
+	const max = 60
+	if len(q) > max {
+		return q[:max-1] + "…"
+	}
+	return q
+}

@@ -1,0 +1,77 @@
+package repl
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestAdminPassesThroughCypher(t *testing.T) {
+	for _, src := range []string{
+		"MATCH (a) RETURN a;",
+		"SHOW PLANS;", // SHOW with an unknown noun is not ours
+		"",
+	} {
+		if handled, _, _ := Admin(src); handled {
+			t.Errorf("Admin(%q) claimed a non-admin statement", src)
+		}
+	}
+}
+
+func TestAdminShowQueries(t *testing.T) {
+	qi := telemetry.DefaultQueries.Register("MATCH (x:Live) RETURN x", "", nil)
+	qi.AddOps(4)
+	qi.OpStarted()
+	qi.AddPairs(17)
+	defer telemetry.DefaultQueries.Complete(qi, 0, nil)
+
+	for _, src := range []string{"SHOW QUERIES;", "show queries", "  Show   Queries ;"} {
+		handled, out, err := Admin(src)
+		if !handled || err != nil {
+			t.Fatalf("Admin(%q) = handled=%v err=%v", src, handled, err)
+		}
+		if !strings.Contains(out, "MATCH (x:Live) RETURN x") {
+			t.Fatalf("SHOW QUERIES output missing the live query:\n%s", out)
+		}
+		if !strings.Contains(out, "running (") || !strings.Contains(out, "history (") {
+			t.Fatalf("SHOW QUERIES output missing sections:\n%s", out)
+		}
+		if !strings.Contains(out, "0/4 run 1") {
+			t.Fatalf("SHOW QUERIES output missing ops progress:\n%s", out)
+		}
+	}
+}
+
+func TestAdminKill(t *testing.T) {
+	canceled := false
+	qi := telemetry.DefaultQueries.Register("victim", "", func() { canceled = true })
+	id := qi.ID()
+	defer telemetry.DefaultQueries.Complete(qi, 0, nil)
+
+	handled, out, err := Admin("KILL 0;")
+	if !handled || err == nil {
+		t.Fatalf("KILL of unknown id: handled=%v err=%v", handled, err)
+	}
+
+	handled, _, err = Admin("KILL;")
+	if !handled || err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Fatalf("bare KILL: handled=%v err=%v", handled, err)
+	}
+	handled, _, err = Admin("KILL abc;")
+	if !handled || err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Fatalf("KILL abc: handled=%v err=%v", handled, err)
+	}
+
+	handled, out, err = Admin("KILL " + strconv.FormatUint(id, 10) + ";")
+	if !handled || err != nil {
+		t.Fatalf("KILL %d: handled=%v err=%v", id, handled, err)
+	}
+	if !canceled {
+		t.Fatal("KILL did not invoke the query's cancel func")
+	}
+	if !strings.Contains(out, "killed") {
+		t.Fatalf("KILL output = %q", out)
+	}
+}

@@ -99,6 +99,8 @@ func (r *REPL) command(line string) bool {
   EXPLAIN <query>;   show the plan without executing
   EXPLAIN ANALYZE <query>;
                      execute and print estimate-vs-actual per operator
+  SHOW QUERIES;      list running queries (live progress) and history
+  KILL <id>;         cancel the running query with that id
   \explain <query>   show the plan
   \stats             graph statistics
   \timing on|off     per-stage breakdown after each query
@@ -142,6 +144,16 @@ func (r *REPL) command(line string) bool {
 }
 
 func (r *REPL) execute(src string) {
+	// Registry administration (SHOW QUERIES / KILL <id>) is handled before
+	// the Cypher parser ever sees the text.
+	if handled, out, err := Admin(src); handled {
+		if err != nil {
+			fmt.Fprintf(r.out, "error: %v\n", err)
+			return
+		}
+		fmt.Fprint(r.out, out)
+		return
+	}
 	q, err := cypher.Parse(src)
 	if err != nil {
 		fmt.Fprintf(r.out, "error: %v\n", err)

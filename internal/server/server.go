@@ -5,12 +5,14 @@
 //
 // Endpoints:
 //
-//	POST /query    {"query": "...", "params": {...}, "profile": bool}  → {"columns": [...], "rows": [...], "timings": {...}, "profile": {...}}
+//	POST /query    {"query": "...", "params": {...}, "profile": bool, "trace": "chrome"}  → {"columns": [...], "rows": [...], "timings": {...}, "profile": {...}, "chrome_trace": {...}}
 //	POST /explain  {"query": "...", "params": {...}}  → {"plan": "..."}
 //	POST /explain  {"query": "...", "analyze": true}  → {"plan": "...", "analysis": {"operators": [...], ...}}
 //	GET  /stats                                       → graph statistics
-//	GET  /metrics                                     → Prometheus text exposition
+//	GET  /metrics                                     → Prometheus text exposition (engine + Go runtime)
 //	GET  /healthz                                     → 200 ok
+//	GET  /debug/queries                               → in-flight queries (live progress) + completed history
+//	DELETE /debug/queries/{id}                        → kill the in-flight query with that id
 //
 // Request bodies are bounded (Options.MaxRequestBytes, default 1 MiB).
 // With Options.Logger set, every request emits one structured access-log
@@ -74,11 +76,16 @@ func NewWithOptions(eng *engine.Engine, opts Options) *Server {
 	if opts.MaxRequestBytes <= 0 {
 		opts.MaxRequestBytes = DefaultMaxRequestBytes
 	}
+	// Publish the Go runtime's health (goroutines, heap, GC) and the build
+	// identity next to the engine metrics; idempotent across servers.
+	telemetry.RegisterRuntimeMetrics()
 	s := &Server{eng: eng, mux: http.NewServeMux(), opts: opts}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /explain", s.handleExplain)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
+	s.mux.HandleFunc("DELETE /debug/queries/{id}", s.handleKillQuery)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -86,17 +93,20 @@ func NewWithOptions(eng *engine.Engine, opts Options) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler: it assigns a request ID, bounds the
-// body, dispatches, and emits the access-log record.
+// ServeHTTP implements http.Handler: it assigns a request ID (threaded
+// through the context so trace roots and registry entries join the access
+// log on one id), bounds the body, dispatches with panic recovery, and
+// emits the access-log record.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	id := strconv.FormatUint(s.reqID.Add(1), 10)
 	w.Header().Set("X-Request-Id", id)
+	r = r.WithContext(telemetry.WithRequestID(r.Context(), id))
 	if r.Body != nil {
 		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes)
 	}
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-	s.mux.ServeHTTP(sw, r)
+	s.dispatch(sw, r, id)
 	if s.opts.Logger != nil {
 		s.opts.Logger.Info("request",
 			"id", id,
@@ -110,19 +120,57 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// statusWriter captures the response status and size for the access log.
+// dispatch runs the mux under panic recovery: a panicking handler answers
+// 500 with the request id (when nothing was written yet) instead of tearing
+// down the connection, and counts into vs_panics_total. The query-side
+// state — vs_queries_in_flight, the registry entry — is restored by the
+// deferred accounting in cypher.RunContext, which runs during the panic's
+// unwinding before the recovery here.
+func (s *Server) dispatch(sw *statusWriter, r *http.Request, id string) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		telemetry.PanicsRecovered.Inc()
+		if s.opts.Logger != nil {
+			s.opts.Logger.Error("panic recovered",
+				"id", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"error", fmt.Sprint(rec),
+			)
+		}
+		if !sw.wrote {
+			writeJSON(sw, http.StatusInternalServerError,
+				errorResponse{fmt.Sprintf("internal error (request %s)", id)})
+		} else {
+			// Headers are gone; all that's left is recording the failure
+			// for the access log.
+			sw.status = http.StatusInternalServerError
+		}
+	}()
+	s.mux.ServeHTTP(sw, r)
+}
+
+// statusWriter captures the response status and size for the access log,
+// and whether anything was written (the recover path can only send its 500
+// on an untouched response).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
 	bytes  int64
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(status)
 }
 
 func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
 	n, err := w.ResponseWriter.Write(p)
 	w.bytes += int64(n)
 	return n, err
@@ -142,6 +190,10 @@ type QueryRequest struct {
 	// on and returns the estimate-vs-actual operator table (equivalent to
 	// prefixing the query text with EXPLAIN ANALYZE).
 	Analyze bool `json:"analyze"`
+	// Trace selects an export format for the query's span tree. The only
+	// supported value is "chrome": trace the query and attach the Trace
+	// Event Format document (chrome://tracing / Perfetto) as chrome_trace.
+	Trace string `json:"trace"`
 }
 
 // QueryResponse is the body of a successful POST /query.
@@ -150,6 +202,10 @@ type QueryResponse struct {
 	Rows    [][]any                 `json:"rows"`
 	Timings TimingsResponse         `json:"timings"`
 	Profile *telemetry.SpanSnapshot `json:"profile,omitempty"`
+	// ChromeTrace is the span tree in Trace Event Format, present when the
+	// request asked for "trace": "chrome". Save it to a file and load it in
+	// chrome://tracing or Perfetto.
+	ChromeTrace *telemetry.ChromeTrace `json:"chrome_trace,omitempty"`
 	// Plan and Analysis are set when the query text itself was an
 	// EXPLAIN / EXPLAIN ANALYZE.
 	Plan     string           `json:"plan,omitempty"`
@@ -276,9 +332,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if req.Trace != "" && req.Trace != "chrome" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("unsupported trace format %q (want \"chrome\")", req.Trace)})
+		return
+	}
+
 	// Trace when the client asked for a profile (JSON flag or PROFILE
-	// keyword) or when the slow-query log may need the span tree.
+	// keyword), a chrome trace export, or when the slow-query log may need
+	// the span tree.
 	wantProfile := req.Profile || q.Profile
+	wantChrome := req.Trace == "chrome"
 	// r.Context() is canceled when the client disconnects, so an
 	// abandoned query stops consuming the engine; QueryTimeout adds a
 	// server-side deadline on top.
@@ -289,8 +352,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	var root *telemetry.Span
-	if wantProfile || s.opts.SlowQuery > 0 {
+	if wantProfile || wantChrome || s.opts.SlowQuery > 0 {
 		ctx, root = telemetry.NewTrace(ctx, "query")
+		// The access-log request id on the trace root joins slow-query
+		// reports and /debug/queries entries to the access-log line.
+		root.SetStr("request_id", telemetry.RequestIDFromContext(ctx))
 	}
 
 	res, err := cypher.RunContext(ctx, s.eng, q, req.Params)
@@ -328,7 +394,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if wantProfile {
 		resp.Profile = profile
 	}
+	if wantChrome {
+		resp.ChromeTrace = telemetry.ChromeTraceFromSnapshot(profile)
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// DebugQueriesResponse is GET /debug/queries' body: the queries running
+// right now (with live per-operator progress) and the most recently
+// completed ones, newest first.
+type DebugQueriesResponse struct {
+	Active  []telemetry.QuerySnapshot `json:"active"`
+	History []telemetry.QueryRecord   `json:"history"`
+}
+
+func (s *Server) handleDebugQueries(w http.ResponseWriter, _ *http.Request) {
+	active, history := telemetry.DefaultQueries.Snapshot()
+	writeJSON(w, http.StatusOK, DebugQueriesResponse{Active: active, History: history})
+}
+
+// KillResponse is DELETE /debug/queries/{id}'s body.
+type KillResponse struct {
+	ID     uint64 `json:"id"`
+	Killed bool   `json:"killed"`
+}
+
+func (s *Server) handleKillQuery(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad query id"})
+		return
+	}
+	if !telemetry.DefaultQueries.Kill(id) {
+		writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("no running query %d", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, KillResponse{ID: id, Killed: true})
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ms converts milliseconds to the Unix-nanosecond offsets used below.
+func ms(n int64) int64 { return n * int64(time.Millisecond) }
+
+func TestChromeTraceNilSnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(buf.String())
+	want := `{"traceEvents":[],"displayTimeUnit":"ms"}`
+	if got != want {
+		t.Fatalf("nil snapshot JSON = %s, want %s", got, want)
+	}
+}
+
+// TestChromeTraceGolden pins the full JSON for a representative tree: a
+// query root with a planner child and two concurrent (overlapping) expand
+// operators — the shape a traced Match produces.
+func TestChromeTraceGolden(t *testing.T) {
+	base := int64(1_700_000_000_000_000_000)
+	sn := &SpanSnapshot{
+		Name:        "query",
+		StartUnixNs: base,
+		DurationMs:  10,
+		Attrs:       map[string]any{"request_id": "r1"},
+		Children: []*SpanSnapshot{
+			{Name: "plan", StartUnixNs: base, DurationMs: 1},
+			{Name: "expand:a", StartUnixNs: base + ms(1), DurationMs: 5},
+			{Name: "expand:b", StartUnixNs: base + ms(2), DurationMs: 6},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sn); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(buf.String())
+	// query contains plan and expand:a on lane 1; expand:b overlaps
+	// expand:a without nesting, so it splits onto lane 2.
+	want := `{"traceEvents":[` +
+		`{"name":"query","ph":"X","ts":0,"dur":10000,"pid":1,"tid":1,"args":{"request_id":"r1"}},` +
+		`{"name":"plan","ph":"X","ts":0,"dur":1000,"pid":1,"tid":1},` +
+		`{"name":"expand:a","ph":"X","ts":1000,"dur":5000,"pid":1,"tid":1},` +
+		`{"name":"expand:b","ph":"X","ts":2000,"dur":6000,"pid":1,"tid":2}` +
+		`],"displayTimeUnit":"ms"}`
+	if got != want {
+		t.Fatalf("golden mismatch:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestChromeTraceSequentialSiblingsShareLane(t *testing.T) {
+	base := int64(1_700_000_000_000_000_000)
+	sn := &SpanSnapshot{
+		Name:        "query",
+		StartUnixNs: base,
+		DurationMs:  10,
+		Children: []*SpanSnapshot{
+			{Name: "first", StartUnixNs: base, DurationMs: 3},
+			{Name: "second", StartUnixNs: base + ms(4), DurationMs: 3},
+		},
+	}
+	doc := ChromeTraceFromSnapshot(sn)
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("event count = %d", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Tid != 1 {
+			t.Fatalf("%s assigned lane %d; disjoint siblings must share lane 1", ev.Name, ev.Tid)
+		}
+	}
+}
+
+func TestChromeTraceConcurrentSiblingsSplitLanes(t *testing.T) {
+	base := int64(1_700_000_000_000_000_000)
+	// Three pairwise-overlapping operators under one root → three lanes
+	// beyond none shared with a partial overlap.
+	sn := &SpanSnapshot{
+		Name:        "root",
+		StartUnixNs: base,
+		DurationMs:  20,
+		Children: []*SpanSnapshot{
+			{Name: "op1", StartUnixNs: base + ms(1), DurationMs: 10},
+			{Name: "op2", StartUnixNs: base + ms(2), DurationMs: 10},
+			{Name: "op3", StartUnixNs: base + ms(3), DurationMs: 10},
+		},
+	}
+	doc := ChromeTraceFromSnapshot(sn)
+	lanes := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		lanes[ev.Name] = ev.Tid
+	}
+	if lanes["root"] != 1 || lanes["op1"] != 1 {
+		t.Fatalf("root/op1 lanes = %v, want both on lane 1 (op1 nests in root)", lanes)
+	}
+	if lanes["op2"] == lanes["op1"] || lanes["op3"] == lanes["op2"] || lanes["op3"] == lanes["op1"] {
+		t.Fatalf("partially overlapping ops share a lane: %v", lanes)
+	}
+}
+
+func TestChromeTraceFromLiveSpans(t *testing.T) {
+	ctx, root := NewTrace(context.Background(), "query")
+	_, child := StartSpan(ctx, "expand")
+	child.SetInt("pairs", 7)
+	child.End()
+	root.End()
+	doc := ChromeTraceFromSnapshot(root.Snapshot())
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("event count = %d, want 2", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Name != "query" || doc.TraceEvents[1].Name != "expand" {
+		t.Fatalf("event order = %q, %q", doc.TraceEvents[0].Name, doc.TraceEvents[1].Name)
+	}
+	if got := doc.TraceEvents[1].Args["pairs"]; got != int64(7) {
+		t.Fatalf("expand args = %v", doc.TraceEvents[1].Args)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Ts < 0 || ev.Dur < 0 {
+			t.Fatalf("malformed event %+v", ev)
+		}
+	}
+}

@@ -30,6 +30,11 @@ var (
 		"Spill files created.", nil)
 	SpillReadBytes = Default.NewCounter("vs_spill_read_bytes_total",
 		"Bytes read back from spill files.", nil)
+	// PanicsRecovered counts handler panics caught by the server's recover
+	// middleware (each one also restores the in-flight gauge and registry
+	// entry via the unwinding defers).
+	PanicsRecovered = Default.NewCounter("vs_panics_total",
+		"Handler panics recovered by the HTTP server.", nil)
 )
 
 // Engine-level matrix-cache and operator-scheduler instruments.

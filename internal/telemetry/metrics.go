@@ -183,6 +183,45 @@ func (g *Gauge) expose(w io.Writer, name string) {
 	fmt.Fprintf(w, "%s %d\n", seriesName(name, g.labels), g.v.Load())
 }
 
+// FuncGauge is a gauge whose value is computed by a callback at exposition
+// time — the bridge for externally owned values like runtime/metrics
+// samples, where polling a sampler beats mirroring state into an atomic.
+type FuncGauge struct {
+	fn     func() float64
+	labels string
+}
+
+// NewFuncGauge registers a callback-backed gauge. fn is called once per
+// exposition and must be safe for concurrent use.
+func (r *Registry) NewFuncGauge(name, help string, labels Labels, fn func() float64) *FuncGauge {
+	g := &FuncGauge{fn: fn, labels: labels.render()}
+	r.register(name, help, "gauge", g)
+	return g
+}
+
+func (g *FuncGauge) expose(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %s\n", seriesName(name, g.labels), formatBound(g.fn()))
+}
+
+// FuncCounter is a counter whose cumulative value is computed by a callback
+// at exposition time. The callback must be monotone non-decreasing (e.g. a
+// runtime/metrics cumulative sample).
+type FuncCounter struct {
+	fn     func() float64
+	labels string
+}
+
+// NewFuncCounter registers a callback-backed counter.
+func (r *Registry) NewFuncCounter(name, help string, labels Labels, fn func() float64) *FuncCounter {
+	c := &FuncCounter{fn: fn, labels: labels.render()}
+	r.register(name, help, "counter", c)
+	return c
+}
+
+func (c *FuncCounter) expose(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %s\n", seriesName(name, c.labels), formatBound(c.fn()))
+}
+
 // Histogram is a fixed-bucket histogram of float64 observations (typically
 // seconds). Buckets are upper bounds; observations above the last bound
 // land in the implicit +Inf bucket.

@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"runtime/metrics"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	registerRuntimeMetrics(reg, Labels{"go_version": "go-test", "revision": "abc123"})
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, name := range []string{
+		"go_goroutines",
+		"go_memstats_heap_objects_bytes",
+		"go_memstats_total_bytes",
+		"go_gc_cycles_total",
+		"go_gc_pause_seconds_total",
+		"vs_build_info",
+	} {
+		if !strings.Contains(out, "\n"+name) && !strings.HasPrefix(out, "# HELP "+name) {
+			t.Errorf("exposition is missing %s:\n%s", name, out)
+		}
+	}
+
+	// A live process always has at least this test's goroutine.
+	m := regexp.MustCompile(`(?m)^go_goroutines (\S+)$`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("go_goroutines series not found:\n%s", out)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil || v < 1 {
+		t.Fatalf("go_goroutines = %q, want >= 1", m[1])
+	}
+
+	if !strings.Contains(out, `vs_build_info{go_version="go-test",revision="abc123"} 1`) {
+		t.Errorf("vs_build_info gauge missing or mislabeled:\n%s", out)
+	}
+}
+
+func TestRegisterRuntimeMetricsDefaultOnce(t *testing.T) {
+	// Must be safe to call repeatedly (server construction path).
+	RegisterRuntimeMetrics()
+	RegisterRuntimeMetrics()
+	var buf bytes.Buffer
+	if _, err := Default.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "# HELP go_goroutines "); n != 1 {
+		t.Fatalf("go_goroutines registered %d times on Default", n)
+	}
+}
+
+func TestHistogramSumMidpoints(t *testing.T) {
+	if got := histogramSum(nil); got != 0 {
+		t.Fatalf("histogramSum(nil) = %v", got)
+	}
+	// Buckets [0,1) [1,3): counts 2 and 4 → 2*0.5 + 4*2 = 9.
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{2, 4},
+		Buckets: []float64{0, 1, 3},
+	}
+	if got := histogramSum(h); got != 9 {
+		t.Fatalf("histogramSum = %v, want 9", got)
+	}
+	// Infinite edge buckets fall back to the finite bound.
+	h = &metrics.Float64Histogram{
+		Counts:  []uint64{1, 0, 1},
+		Buckets: []float64{math.Inf(-1), 2, 4, math.Inf(1)},
+	}
+	if got := histogramSum(h); got != 6 {
+		t.Fatalf("histogramSum with ±Inf edges = %v, want 2 + 4 = 6", got)
+	}
+}

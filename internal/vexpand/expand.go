@@ -220,6 +220,7 @@ func ExpandContext(ctx context.Context, g *graph.Graph, sources []graph.VertexID
 		sets:    sets,
 		opts:    opts,
 		kernel:  kernel,
+		query:   telemetry.CurrentQuery(ctx),
 	}
 	var res *Result
 	if kernel == BFS {
@@ -305,6 +306,9 @@ type expansion struct {
 	sets    []*graph.EdgeSet
 	opts    Options
 	kernel  Kernel
+	// query is the registry entry of the enclosing query (nil outside a
+	// registered query); per-step pair counts feed its live progress.
+	query *telemetry.QueryInfo
 	// reserved tracks bytes claimed on opts.Budget, released at return.
 	reserved int64
 }
@@ -443,7 +447,12 @@ func (e *expansion) runMatrix() (*Result, error) {
 			}
 		}
 		res.Stats.Steps++
-		res.Stats.IntermediateResults += int64(next.PopCount())
+		// One popcount per step, shared between the expansion stats and the
+		// live query-progress counter (pairs visible on /debug/queries
+		// while the expansion is still stepping).
+		stepPairs := int64(next.PopCount())
+		res.Stats.IntermediateResults += stepPairs
+		e.query.AddPairs(stepPairs)
 
 		if step >= e.d.KMin {
 			res.Reach.Or(next)
@@ -678,7 +687,11 @@ func (e *expansion) runBFS() (*Result, error) {
 						st.visit += time.Since(t1)
 					}
 					rowSteps = step
-					st.intermediate += int64(nextFrontier.PopCount())
+					// Shared popcount: per-worker stats plus the live
+					// query-progress pairs counter (atomic, nil-safe).
+					stepPairs := int64(nextFrontier.PopCount())
+					st.intermediate += stepPairs
+					e.query.AddPairs(stepPairs)
 					if step >= e.d.KMin {
 						nextFrontier.ForEach(func(j int) { res.Reach.Set(r, j) })
 					}

@@ -71,7 +71,7 @@ if [ -z "${SKIP_FUZZ:-}" ]; then
 fi
 
 if [ -z "${SKIP_SMOKE:-}" ]; then
-    step "vsserve smoke (generate, serve, query, scrape /metrics)"
+    step "vsserve smoke (generate, serve, query, /debug/queries, scrape /metrics)"
     smokedir="$(mktemp -d)"
     serverpid=""
     cleanup() {
@@ -106,6 +106,16 @@ if [ -z "${SKIP_SMOKE:-}" ]; then
         || { echo "vs_queries_total did not reach 1:" >&2; echo "$metrics" | grep vs_queries >&2; exit 1; }
     echo "$metrics" | grep -q 'vs_query_stage_seconds_count{stage="total"} 1' \
         || { echo "stage histogram missing:" >&2; echo "$metrics" | grep stage >&2; exit 1; }
+
+    # The completed query must show up in the introspection history, and
+    # the runtime-metrics bridge must be live on /metrics.
+    curl -fsS "http://$hostport/debug/queries" \
+        | grep -q '"status":"ok"' \
+        || { echo "/debug/queries history is missing the completed query" >&2; exit 1; }
+    echo "$metrics" | grep -q '^go_goroutines ' \
+        || { echo "runtime-metrics bridge missing go_goroutines on /metrics" >&2; exit 1; }
+    echo "$metrics" | grep -q '^vs_build_info{' \
+        || { echo "vs_build_info gauge missing on /metrics" >&2; exit 1; }
 
     # Repeating the query must hit the engine-level matrix cache (vsserve
     # enables it by default).
