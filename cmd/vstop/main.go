@@ -1,0 +1,360 @@
+// Command vstop is a terminal dashboard for a running vsserve: a top(1)
+// for queries. It polls GET /debug/timeseries and GET /debug/queries and
+// redraws once per interval — QPS with a sparkline, latency percentiles
+// reduced over the trailing window, memory/cache occupancy, and the
+// in-flight queries sorted by attributed byte footprint (most expensive
+// first). Typing "k <id>" kills a query through DELETE /debug/queries/{id};
+// "q" quits.
+//
+// Usage:
+//
+//	vstop -addr http://localhost:7474
+//	vstop -addr http://localhost:7474 -once      # one frame, no screen control
+//
+// Flags:
+//
+//	-addr URL       vsserve base URL (default http://localhost:7474)
+//	-interval 1s    poll-and-redraw period
+//	-window 60      reduction window in samples (QPS, percentiles)
+//	-n 10           max query rows shown per table
+//	-once           print a single frame and exit (no ANSI escapes)
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vstop: ")
+	var (
+		addr     = flag.String("addr", "http://localhost:7474", "vsserve base URL")
+		interval = flag.Duration("interval", time.Second, "poll-and-redraw period")
+		window   = flag.Int("window", 60, "reduction window in samples")
+		maxRows  = flag.Int("n", 10, "max query rows shown per table")
+		once     = flag.Bool("once", false, "print a single frame and exit (no ANSI escapes)")
+	)
+	flag.Parse()
+
+	cl := &client{base: strings.TrimRight(*addr, "/"), http: &http.Client{Timeout: 10 * time.Second}}
+	if *once {
+		if err := drawFrame(os.Stdout, cl, *window, *maxRows, false); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// Command channel fed by stdin: "k <id>" kills, "q" quits.
+	cmds := make(chan string)
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			cmds <- strings.TrimSpace(sc.Text())
+		}
+		close(cmds)
+	}()
+
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	var status string
+	redraw := func() {
+		var buf strings.Builder
+		err := drawFrame(&buf, cl, *window, *maxRows, true)
+		fmt.Print("\x1b[H\x1b[2J") // home + clear
+		if err != nil {
+			fmt.Printf("vstop: %v (retrying)\n", err)
+		} else {
+			fmt.Print(buf.String())
+		}
+		if status != "" {
+			fmt.Println(status)
+		}
+		fmt.Print("command (k <id> to kill, q to quit) > ")
+	}
+	redraw()
+	for {
+		select {
+		case <-tick.C:
+			redraw()
+		case cmd, ok := <-cmds:
+			if !ok || cmd == "q" || cmd == "quit" {
+				fmt.Println()
+				return
+			}
+			status = runCommand(cl, cmd)
+			redraw()
+		}
+	}
+}
+
+// runCommand executes one interactive command and returns a status line.
+func runCommand(cl *client, cmd string) string {
+	if cmd == "" {
+		return ""
+	}
+	fields := strings.Fields(cmd)
+	if (fields[0] == "k" || fields[0] == "kill") && len(fields) == 2 {
+		id, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Sprintf("bad query id %q", fields[1])
+		}
+		if err := cl.kill(id); err != nil {
+			return fmt.Sprintf("kill %d: %v", id, err)
+		}
+		return fmt.Sprintf("killed query %d", id)
+	}
+	return fmt.Sprintf("unknown command %q", cmd)
+}
+
+// client wraps the two debug endpoints vstop polls and the kill call.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) getJSON(path string, dst any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //vs:nolint(unchecked-err) read-side close; the decode error is the one that matters
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+func (c *client) timeseries(samples int) (*telemetry.TimeseriesSummary, error) {
+	var sum telemetry.TimeseriesSummary
+	if err := c.getJSON(fmt.Sprintf("/debug/timeseries?samples=%d", samples), &sum); err != nil {
+		return nil, err
+	}
+	return &sum, nil
+}
+
+func (c *client) queries() (*server.DebugQueriesResponse, error) {
+	var dq server.DebugQueriesResponse
+	if err := c.getJSON("/debug/queries", &dq); err != nil {
+		return nil, err
+	}
+	return &dq, nil
+}
+
+func (c *client) kill(id uint64) error {
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/debug/queries/%d", c.base, id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //vs:nolint(unchecked-err) read-side close; the status check below carries the verdict
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// drawFrame polls both endpoints and renders one frame to w. color gates
+// the ANSI bold/dim sequences so -once output stays pipe-clean.
+func drawFrame(w io.Writer, cl *client, window, maxRows int, color bool) error {
+	sum, err := cl.timeseries(window)
+	if err != nil {
+		return err
+	}
+	dq, err := cl.queries()
+	if err != nil {
+		return err
+	}
+	render(w, sum, dq, maxRows, color)
+	return nil
+}
+
+// stageTotal is the exposition name of the end-to-end latency histogram.
+const stageTotal = `vs_query_stage_seconds{stage="total"}`
+
+// render draws one frame from the polled windows.
+func render(w io.Writer, sum *telemetry.TimeseriesSummary, dq *server.DebugQueriesResponse, maxRows int, color bool) {
+	bold := func(s string) string { return s }
+	dim := bold
+	if color {
+		bold = func(s string) string { return "\x1b[1m" + s + "\x1b[0m" }
+		dim = func(s string) string { return "\x1b[2m" + s + "\x1b[0m" }
+	}
+
+	qps, qpsSpark := counterRate(sum, "vs_queries_total")
+	fmt.Fprintf(w, "%s  qps %s %s", bold("vstop"), bold(fmt.Sprintf("%.2f", qps)), qpsSpark)
+	if hs, ok := sum.Histograms[stageTotal]; ok {
+		fmt.Fprintf(w, "   latency p50 %s  p95 %s  p99 %s",
+			fmtQuantileMs(hs.P50), fmtQuantileMs(hs.P95), fmtQuantileMs(hs.P99))
+	}
+	fmt.Fprintf(w, "   window %ds\n", int(float64(sum.Samples)*float64(sum.IntervalMs)/1000))
+
+	mem, _ := latest(sum, "vs_memory_in_use_bytes")
+	memLimit, _ := latest(sum, "vs_memory_limit_bytes")
+	cacheB, _ := latest(sum, "vs_matrix_cache_bytes")
+	goros, _ := latest(sum, "go_goroutines")
+	heap, _ := latest(sum, "go_memstats_heap_objects_bytes")
+	fmt.Fprintf(w, "mem %s", fmtBytes(mem))
+	if memLimit > 0 {
+		fmt.Fprintf(w, "/%s (%.0f%%)", fmtBytes(memLimit), 100*mem/memLimit)
+	}
+	fmt.Fprintf(w, "   cache %s   heap %s   goroutines %.0f\n\n",
+		fmtBytes(cacheB), fmtBytes(heap), goros)
+
+	// In-flight queries, most expensive attributed footprint first.
+	active := append([]telemetry.QuerySnapshot(nil), dq.Active...)
+	sort.SliceStable(active, func(i, j int) bool {
+		return active[i].Cost.TotalBytes() > active[j].Cost.TotalBytes()
+	})
+	fmt.Fprintln(w, bold(fmt.Sprintf("ACTIVE (%d, by attributed bytes)", len(active))))
+	fmt.Fprintln(w, dim("  id    phase     elapsed       cpu      bytes    ops        query"))
+	if len(active) == 0 {
+		fmt.Fprintln(w, "  (none)")
+	}
+	for i, q := range active {
+		if i >= maxRows {
+			fmt.Fprintf(w, "  … %d more\n", len(active)-maxRows)
+			break
+		}
+		phase := q.Phase
+		if q.Killed {
+			phase += "!"
+		}
+		fmt.Fprintf(w, "  %-5d %-9s %9s %9s %10s  %d/%d  %s\n",
+			q.ID, phase, fmtMs(q.ElapsedMs), fmtMs(q.Cost.CPUMs),
+			fmtBytes(float64(q.Cost.TotalBytes())),
+			q.Progress.OpsDone, q.Progress.OpsTotal, clip(q.Query, 48))
+	}
+
+	fmt.Fprintln(w, bold("\nHISTORY (newest first)"))
+	fmt.Fprintln(w, dim("  id    status    duration      cpu      bytes     rows   query"))
+	if len(dq.History) == 0 {
+		fmt.Fprintln(w, "  (none)")
+	}
+	for i, r := range dq.History {
+		if i >= maxRows {
+			break
+		}
+		fmt.Fprintf(w, "  %-5d %-9s %8s %8s %10s %8d   %s\n",
+			r.ID, r.Status, fmtMs(r.DurationMs), fmtMs(r.Cost.CPUMs),
+			fmtBytes(float64(r.Cost.TotalBytes())), r.Rows, clip(r.Query, 44))
+	}
+}
+
+// counterRate reduces a cumulative counter series to its window rate and a
+// sparkline of per-sample increments.
+func counterRate(sum *telemetry.TimeseriesSummary, name string) (perSec float64, spark string) {
+	s := sum.Series[name]
+	if len(s) < 2 || len(sum.TimesUnixMs) < 2 {
+		return 0, ""
+	}
+	secs := float64(sum.TimesUnixMs[len(sum.TimesUnixMs)-1]-sum.TimesUnixMs[0]) / 1000
+	if secs > 0 {
+		perSec = (s[len(s)-1] - s[0]) / secs
+	}
+	deltas := make([]float64, len(s)-1)
+	for i := 1; i < len(s); i++ {
+		deltas[i-1] = s[i] - s[i-1]
+	}
+	return perSec, sparkline(deltas, 30)
+}
+
+// sparkRunes is the eight-level bar alphabet, lowest first.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders vals as unicode bars, keeping only the newest width
+// entries. All-zero input renders all-minimum bars.
+func sparkline(vals []float64, width int) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		lvl := 0
+		if max > 0 && v > 0 {
+			lvl = int(v / max * float64(len(sparkRunes)-1))
+			if lvl >= len(sparkRunes) {
+				lvl = len(sparkRunes) - 1
+			}
+		}
+		out[i] = sparkRunes[lvl]
+	}
+	return string(out)
+}
+
+// latest returns the newest value of a series in the summary window.
+func latest(sum *telemetry.TimeseriesSummary, name string) (float64, bool) {
+	s := sum.Series[name]
+	if len(s) == 0 {
+		return 0, false
+	}
+	return s[len(s)-1], true
+}
+
+func fmtQuantileMs(p *float64) string {
+	if p == nil {
+		return "–"
+	}
+	return fmtMs(*p * 1000)
+}
+
+func fmtMs(ms float64) string {
+	switch {
+	case ms >= 10000:
+		return fmt.Sprintf("%.1fs", ms/1000)
+	case ms >= 100:
+		return fmt.Sprintf("%.0fms", ms)
+	default:
+		return fmt.Sprintf("%.1fms", ms)
+	}
+}
+
+func fmtBytes(n float64) string {
+	units := []string{"B", "KiB", "MiB", "GiB", "TiB"}
+	i := 0
+	for n >= 1024 && i < len(units)-1 {
+		n /= 1024
+		i++
+	}
+	if i == 0 {
+		return fmt.Sprintf("%.0f%s", n, units[i])
+	}
+	return fmt.Sprintf("%.1f%s", n, units[i])
+}
+
+// clip truncates s to n runes with an ellipsis, flattening newlines.
+func clip(s string, n int) string {
+	s = strings.Join(strings.Fields(s), " ")
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	return string(r[:n-1]) + "…"
+}

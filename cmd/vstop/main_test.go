@@ -1,0 +1,146 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeServe stands in for vsserve's debug endpoints: a fixed timeseries
+// window, two active queries of unequal cost, and a kill recorder.
+func fakeServe(t *testing.T, killed *[]string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/timeseries", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// Counter climbs 10→16 over 2s (3/s), one histogram reduction.
+		_, _ = w.Write([]byte(`{
+			"interval_ms": 1000, "samples": 3,
+			"times_unix_ms": [1000, 2000, 3000],
+			"series": {
+				"vs_queries_total": [10, 12, 16],
+				"vs_memory_in_use_bytes": [100, 200, 512],
+				"vs_memory_limit_bytes": [1024, 1024, 1024],
+				"vs_matrix_cache_bytes": [0, 0, 2048],
+				"go_goroutines": [8, 8, 9]
+			},
+			"histograms": {
+				"vs_query_stage_seconds{stage=\"total\"}":
+					{"count": [10, 12, 16], "rate_per_s": 3, "p50": 0.012, "p95": 0.4, "p99": 1.2}
+			}
+		}`))
+	})
+	mux.HandleFunc("GET /debug/queries", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{
+			"active": [
+				{"id": 1, "query": "MATCH (a)-[:knows*1..2]-(b) RETURN COUNT(*)",
+				 "start_unix_ms": 1000, "elapsed_ms": 1500.5, "phase": "execute",
+				 "progress": {"ops_total": 4, "ops_done": 2},
+				 "cost": {"cpu_ms": 12.5, "matrix_bytes": 1024, "cache_bytes": 0,
+				          "spill_write_bytes": 0, "spill_read_bytes": 0, "pairs": 9, "rows": 0}},
+				{"id": 2, "query": "MATCH (x)-[:follows*]-(y) RETURN COUNT(*)",
+				 "start_unix_ms": 1200, "elapsed_ms": 900.0, "phase": "execute",
+				 "progress": {"ops_total": 3, "ops_done": 1},
+				 "cost": {"cpu_ms": 80, "matrix_bytes": 4096, "cache_bytes": 4096,
+				          "spill_write_bytes": 0, "spill_read_bytes": 0, "pairs": 100, "rows": 0}}
+			],
+			"history": [
+				{"id": 0, "query": "MATCH (a) RETURN COUNT(*)", "start_unix_ms": 500,
+				 "duration_ms": 4.2, "status": "ok", "rows": 1,
+				 "cost": {"cpu_ms": 3.1, "matrix_bytes": 256}}
+			]
+		}`))
+	})
+	mux.HandleFunc("DELETE /debug/queries/{id}", func(w http.ResponseWriter, r *http.Request) {
+		*killed = append(*killed, r.PathValue("id"))
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"id": ` + r.PathValue("id") + `, "killed": true}`))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func newTestClient(srv *httptest.Server) *client {
+	return &client{base: srv.URL, http: srv.Client()}
+}
+
+func TestRenderFrame(t *testing.T) {
+	var killed []string
+	srv := fakeServe(t, &killed)
+	cl := newTestClient(srv)
+
+	var buf strings.Builder
+	if err := drawFrame(&buf, cl, 60, 10, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	// QPS = (16-10)/2s = 3.
+	if !strings.Contains(out, "qps 3.00") {
+		t.Errorf("missing QPS:\n%s", out)
+	}
+	// p95 = 0.4s → 400ms.
+	if !strings.Contains(out, "p95 400ms") {
+		t.Errorf("missing p95:\n%s", out)
+	}
+	// Memory occupancy 512/1024 = 50%.
+	if !strings.Contains(out, "mem 512B/1.0KiB (50%)") {
+		t.Errorf("missing memory meter:\n%s", out)
+	}
+	// Query 2 (8KiB attributed) must rank above query 1 (1KiB).
+	i2 := strings.Index(out, "\n  2    ")
+	i1 := strings.Index(out, "\n  1    ")
+	if i2 < 0 || i1 < 0 || i2 > i1 {
+		t.Errorf("active queries not sorted by attributed bytes (q2 at %d, q1 at %d):\n%s", i2, i1, out)
+	}
+	if !strings.Contains(out, "8.0KiB") {
+		t.Errorf("missing attributed bytes for query 2:\n%s", out)
+	}
+	// History row present.
+	if !strings.Contains(out, "HISTORY") || !strings.Contains(out, "ok") {
+		t.Errorf("missing history:\n%s", out)
+	}
+}
+
+func TestKillCommand(t *testing.T) {
+	var killed []string
+	srv := fakeServe(t, &killed)
+	cl := newTestClient(srv)
+
+	if status := runCommand(cl, "k 2"); !strings.Contains(status, "killed query 2") {
+		t.Errorf("status = %q", status)
+	}
+	if len(killed) != 1 || killed[0] != "2" {
+		t.Errorf("killed = %v, want [2]", killed)
+	}
+	if status := runCommand(cl, "k nope"); !strings.Contains(status, "bad query id") {
+		t.Errorf("status = %q", status)
+	}
+	if status := runCommand(cl, "bogus"); !strings.Contains(status, "unknown command") {
+		t.Errorf("status = %q", status)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil, 10); got != "" {
+		t.Errorf("empty input = %q", got)
+	}
+	// Monotone ramp: first rune minimum, last rune maximum.
+	got := []rune(sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 10))
+	if got[0] != '▁' || got[len(got)-1] != '█' {
+		t.Errorf("ramp = %q", string(got))
+	}
+	// All-zero stays at the floor.
+	for _, r := range sparkline([]float64{0, 0, 0}, 10) {
+		if r != '▁' {
+			t.Errorf("zero run = %q", r)
+		}
+	}
+	// Width clamps to the newest entries.
+	if got := sparkline([]float64{9, 9, 9, 9, 9, 1}, 2); len([]rune(got)) != 2 {
+		t.Errorf("clamped = %q", got)
+	}
+}

@@ -86,6 +86,17 @@ func (e *Engine) CacheStats() (entries int, bytes int64) {
 // memory budget (live intermediates plus cache residency).
 func (e *Engine) MemoryInUse() int64 { return e.acct.InUse() }
 
+// MemoryLimit reports the configured memory budget (0 = unlimited).
+func (e *Engine) MemoryLimit() int64 { return e.acct.Limit() }
+
+// Accountant exposes the engine's shared memory accountant so co-resident
+// subsystems (the telemetry time-series ring) can meter their footprint in
+// the same budget as matrices, cache residency, and spill buffers.
+func (e *Engine) Accountant() *exec.Accountant { return e.acct }
+
+// CacheLimit reports the configured matrix-cache byte bound (0 = off).
+func (e *Engine) CacheLimit() int64 { return e.opts.CacheBytes }
+
 // SetStatsSink attaches (or, with nil, detaches) the cardinality-statistics
 // sink every completed Match observes into. Safe to call concurrently with
 // running queries.
@@ -213,6 +224,9 @@ func (e *Engine) MatchContext(ctx context.Context, pat *pattern.Pattern, opts Ma
 	psp.End()
 	res.Plan = plan
 	res.Timings.Scan = time.Since(t0)
+	// Planning runs on the caller's goroutine, outside the scheduler's
+	// operator boundaries — attribute it here.
+	qi.AddCPUNanos(int64(res.Timings.Scan))
 
 	n := len(pat.Vertices)
 	if n == 1 {
@@ -457,6 +471,10 @@ func (e *Engine) MatchForEachOpts(ctx context.Context, pat *pattern.Pattern, opt
 	res.Timings.Intersect = time.Since(t1)
 	res.Count = jr.Count
 	res.Timings.Total = time.Since(start)
+	// The streaming join runs on this goroutine, outside the scheduler —
+	// attribute its busy time and produced tuples here.
+	qc.Query().AddCPUNanos(int64(res.Timings.Intersect))
+	qc.Query().AddRows(jr.Count)
 	if err != nil {
 		return err
 	}

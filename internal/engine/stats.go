@@ -2,6 +2,7 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -56,11 +57,14 @@ type StatsObservation struct {
 }
 
 // StatsSink appends StatsObservation records as JSON lines. Safe for
-// concurrent use (one query's records are written contiguously).
+// concurrent use (one query's records are written contiguously). Write
+// failures are remembered and surfaced by Close, so a sink whose disk
+// filled mid-run does not report success at shutdown.
 type StatsSink struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	c   io.Closer
+	mu       sync.Mutex
+	enc      *json.Encoder
+	c        io.Closer
+	writeErr error // first Observe encode failure, surfaced by Close
 }
 
 // NewStatsSink writes observations to w.
@@ -79,12 +83,34 @@ func OpenStatsSink(path string) (*StatsSink, error) {
 	return s, nil
 }
 
-// Close closes the underlying file when the sink owns one.
+// syncer is the subset of *os.File Close uses to flush: observations are
+// advisory while the process runs, but a sink that closes cleanly must
+// actually be on disk.
+type syncer interface{ Sync() error }
+
+// Close syncs and closes the underlying file when the sink owns one,
+// reporting the first Observe write failure alongside any sync/close
+// error — callers see every way records could have been lost.
 func (s *StatsSink) Close() error {
-	if s == nil || s.c == nil {
+	if s == nil {
 		return nil
 	}
-	return s.c.Close()
+	s.mu.Lock()
+	werr := s.writeErr
+	c := s.c
+	s.mu.Unlock()
+	var serr, cerr error
+	if sy, ok := c.(syncer); ok {
+		if err := sy.Sync(); err != nil {
+			serr = fmt.Errorf("stats sink sync: %w", err)
+		}
+	}
+	if c != nil {
+		if err := c.Close(); err != nil {
+			cerr = fmt.Errorf("stats sink close: %w", err)
+		}
+	}
+	return errors.Join(werr, serr, cerr)
 }
 
 // Observe joins one completed match's plan estimates against its span-tree
@@ -120,6 +146,9 @@ func (s *StatsSink) Observe(qid uint64, g *graph.Graph, pat *pattern.Pattern, re
 			MatrixBytes:   op.MatrixBytes,
 		}
 		if err := s.enc.Encode(&rec); err != nil {
+			if s.writeErr == nil {
+				s.writeErr = fmt.Errorf("stats sink: %w", err)
+			}
 			return fmt.Errorf("stats sink: %w", err)
 		}
 	}

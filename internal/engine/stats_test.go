@@ -5,6 +5,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"io"
+	"strings"
 	"testing"
 
 	"repro/internal/pattern"
@@ -168,5 +171,94 @@ func TestStatsSinkNilSafe(t *testing.T) {
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// failingWriter fails every write after the first n bytes-worth of calls.
+type failingWriter struct {
+	fails bool
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.fails {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+// syncCloser records the Sync/Close sequence a clean shutdown must make.
+type syncCloser struct {
+	calls   []string
+	syncErr error
+}
+
+func (c *syncCloser) Sync() error {
+	c.calls = append(c.calls, "sync")
+	return c.syncErr
+}
+
+func (c *syncCloser) Close() error {
+	c.calls = append(c.calls, "close")
+	return nil
+}
+
+// TestStatsSinkWriteErrorSurfacesAtClose (satellite S2): a write failure
+// during Observe is returned there AND remembered, so Close reports it —
+// a sink whose disk filled mid-run cannot report a clean shutdown.
+func TestStatsSinkWriteErrorSurfacesAtClose(t *testing.T) {
+	g := socialGraph(t)
+	e := New(g, Options{})
+	w := &failingWriter{}
+	sink := NewStatsSink(w)
+	e.SetStatsSink(sink)
+
+	// Healthy write first: no error recorded.
+	if _, err := e.MatchContext(context.Background(), statsPattern(), MatchOptions{CountOnly: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	w.fails = true
+	res, err := e.MatchContext(context.Background(), statsPattern(), MatchOptions{CountOnly: true})
+	// Statistics are advisory: the query itself must still succeed.
+	if err != nil || res == nil {
+		t.Fatalf("query failed on stats write error: %v", err)
+	}
+
+	cerr := sink.Close()
+	if cerr == nil {
+		t.Fatal("Close reported success after a failed Observe write")
+	}
+	if !strings.Contains(cerr.Error(), "disk full") {
+		t.Fatalf("Close error %q does not carry the write failure", cerr)
+	}
+	// Close must stay idempotent-safe on the error path.
+	if cerr2 := sink.Close(); cerr2 == nil {
+		t.Fatal("second Close dropped the remembered write error")
+	}
+}
+
+// TestStatsSinkCloseSyncs (satellite S2): Close flushes to stable storage
+// before closing, and a sync failure surfaces.
+func TestStatsSinkCloseSyncs(t *testing.T) {
+	sc := &syncCloser{}
+	s := NewStatsSink(io.Discard)
+	s.c = sc
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.calls) != 2 || sc.calls[0] != "sync" || sc.calls[1] != "close" {
+		t.Fatalf("Close sequence = %v, want [sync close]", sc.calls)
+	}
+
+	sc2 := &syncCloser{syncErr: errors.New("io error")}
+	s2 := NewStatsSink(io.Discard)
+	s2.c = sc2
+	err := s2.Close()
+	if err == nil || !strings.Contains(err.Error(), "io error") {
+		t.Fatalf("sync failure not surfaced: %v", err)
+	}
+	// The file still gets closed even when Sync fails.
+	if len(sc2.calls) != 2 || sc2.calls[1] != "close" {
+		t.Fatalf("Close sequence on sync failure = %v", sc2.calls)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -146,7 +147,13 @@ func (d *DAG) Run(qc *QueryContext) error {
 			running++
 			qc.query.OpStarted()
 			go func(n *Node) {
-				done <- doneMsg{node: n, err: n.op.Run(qc)}
+				// Sample the clock at the operator boundary: the elapsed
+				// time is the operator's busy time on this goroutine,
+				// attributed to the query as CPU cost.
+				t0 := time.Now()
+				err := n.op.Run(qc)
+				qc.query.AddCPUNanos(time.Since(t0).Nanoseconds())
+				done <- doneMsg{node: n, err: err}
 			}(n)
 		}
 		if running == 0 {

@@ -60,7 +60,7 @@ func (op *ExpandOp) Run(qc *QueryContext) error {
 		op.Result = r
 		op.CacheState = "hit"
 		qc.query.AddCacheHit()
-		qc.query.AddMatrixBytes(r.Stats.MatrixBytes)
+		qc.query.AddCacheBytes(r.Stats.MatrixBytes)
 		sp.SetStr("cache", "hit")
 		annotateShared(sp, r, op.Sources, op.D)
 		sp.End()
@@ -299,6 +299,7 @@ func (op *AggregateOp) Run(qc *QueryContext) error {
 	}
 	sp.SetInt("tuples", op.Count)
 	sp.End()
+	qc.query.AddRows(op.Count)
 	op.Wall = time.Since(t0)
 	return nil
 }

@@ -51,33 +51,51 @@ func renderQueries(active []telemetry.QuerySnapshot, history []telemetry.QueryRe
 	var b strings.Builder
 	fmt.Fprintf(&b, "running (%d):\n", len(active))
 	if len(active) > 0 {
-		fmt.Fprintf(&b, "  %-5s %-9s %-10s %-14s %-12s %s\n",
-			"id", "phase", "elapsed", "ops", "pairs", "query")
+		fmt.Fprintf(&b, "  %-5s %-9s %-10s %-14s %-12s %-9s %-10s %s\n",
+			"id", "phase", "elapsed", "ops", "pairs", "cpu", "bytes", "query")
 		for _, q := range active {
 			p := q.Progress
 			state := q.Phase
 			if q.Killed {
 				state = "killed"
 			}
-			fmt.Fprintf(&b, "  %-5d %-9s %-10s %-14s %-12d %s\n",
+			fmt.Fprintf(&b, "  %-5d %-9s %-10s %-14s %-12d %-9s %-10s %s\n",
 				q.ID, state, fmt.Sprintf("%.1fms", q.ElapsedMs),
 				fmt.Sprintf("%d/%d run %d", p.OpsDone, p.OpsTotal, p.OpsRunning),
-				p.Pairs, oneLine(q.Query))
+				p.Pairs, fmt.Sprintf("%.1fms", q.Cost.CPUMs),
+				costBytes(q.Cost.TotalBytes()), oneLine(q.Query))
 		}
 	}
 	fmt.Fprintf(&b, "history (%d, newest first):\n", len(history))
 	if len(history) > 0 {
-		fmt.Fprintf(&b, "  %-5s %-7s %-10s %-8s %s\n", "id", "status", "duration", "rows", "query")
+		fmt.Fprintf(&b, "  %-5s %-7s %-10s %-8s %-9s %-10s %s\n",
+			"id", "status", "duration", "rows", "cpu", "bytes", "query")
 		for _, q := range history {
 			detail := oneLine(q.Query)
 			if q.Error != "" {
 				detail += "  (" + q.Error + ")"
 			}
-			fmt.Fprintf(&b, "  %-5d %-7s %-10s %-8d %s\n",
-				q.ID, q.Status, fmt.Sprintf("%.1fms", q.DurationMs), q.Rows, detail)
+			fmt.Fprintf(&b, "  %-5d %-7s %-10s %-8d %-9s %-10s %s\n",
+				q.ID, q.Status, fmt.Sprintf("%.1fms", q.DurationMs), q.Rows,
+				fmt.Sprintf("%.1fms", q.Cost.CPUMs), costBytes(q.Cost.TotalBytes()), detail)
 		}
 	}
 	return b.String()
+}
+
+// costBytes renders an attributed byte total human-readably for the table.
+func costBytes(n int64) string {
+	f := float64(n)
+	for _, u := range []string{"B", "KiB", "MiB", "GiB"} {
+		if f < 1024 || u == "GiB" {
+			if u == "B" {
+				return fmt.Sprintf("%.0f%s", f, u)
+			}
+			return fmt.Sprintf("%.1f%s", f, u)
+		}
+		f /= 1024
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 // oneLine collapses a query's text onto one row, truncated for the table.

@@ -1,0 +1,199 @@
+// Live observability surfaces over the time-series ring: a JSON window
+// endpoint (GET /debug/timeseries) that vstop and scripts poll, a
+// self-contained HTML dashboard (GET /debug/dash) fed by an SSE stream of
+// per-interval reductions (GET /debug/dash/stream), and the payload shape
+// both share.
+//
+// The stream writes one heartbeat comment and one "dash" event per
+// interval and flushes after each, so proxies and the EventSource client
+// see frames in real time and an idle engine still proves liveness.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// dashWindow is the reduction window of the stream payload in samples:
+// with the default one-second interval, QPS and latency quantiles cover
+// the trailing minute.
+const dashWindow = 60
+
+// stageTotalSeries is the exposition name of the end-to-end latency
+// histogram the dashboard reduces.
+const stageTotalSeries = `vs_query_stage_seconds{stage="total"}`
+
+// DashPayload is one frame of the dashboard stream: the trailing-window
+// reductions plus point-in-time occupancy and the in-flight query set,
+// sorted by attributed byte footprint (most expensive first).
+type DashPayload struct {
+	TsUnixMs int64 `json:"ts_unix_ms"`
+	// QPS is queries per second over the trailing window.
+	QPS float64 `json:"qps"`
+	// P50Ms/P95Ms/P99Ms reduce the total-stage latency histogram over the
+	// window; null when no query completed inside it.
+	P50Ms *float64 `json:"p50_ms"`
+	P95Ms *float64 `json:"p95_ms"`
+	P99Ms *float64 `json:"p99_ms"`
+	// Goroutines and HeapBytes are the newest runtime gauge samples.
+	Goroutines float64 `json:"goroutines"`
+	HeapBytes  float64 `json:"heap_bytes"`
+	// MemUsedBytes/MemLimitBytes is the accountant's occupancy.
+	MemUsedBytes  int64 `json:"mem_used_bytes"`
+	MemLimitBytes int64 `json:"mem_limit_bytes"`
+	// CacheBytes/CacheLimitBytes/CacheEntries is the matrix cache's.
+	CacheBytes      int64 `json:"cache_bytes"`
+	CacheLimitBytes int64 `json:"cache_limit_bytes"`
+	CacheEntries    int   `json:"cache_entries"`
+	// Active is the in-flight queries, most expensive (Cost.TotalBytes)
+	// first.
+	Active []telemetry.QuerySnapshot `json:"active"`
+	// Alerts is every watcher rule's current state (empty without a
+	// watcher).
+	Alerts []telemetry.AlertState `json:"alerts,omitempty"`
+}
+
+// dashPayload assembles one stream frame.
+func (s *Server) dashPayload(now time.Time) DashPayload {
+	p := DashPayload{TsUnixMs: now.UnixMilli()}
+	if ts := s.opts.TimeSeries; ts != nil {
+		if r, ok := ts.Rate("vs_queries_total", dashWindow); ok {
+			p.QPS = r
+		}
+		for _, pq := range []struct {
+			q   float64
+			dst **float64
+		}{{0.50, &p.P50Ms}, {0.95, &p.P95Ms}, {0.99, &p.P99Ms}} {
+			if v, ok := ts.Quantile(stageTotalSeries, pq.q, dashWindow); ok {
+				ms := v * 1000
+				*pq.dst = &ms
+			}
+		}
+		if v, ok := ts.Latest("go_goroutines"); ok {
+			p.Goroutines = v
+		}
+		if v, ok := ts.Latest("go_memstats_heap_objects_bytes"); ok {
+			p.HeapBytes = v
+		}
+	}
+	p.MemUsedBytes = s.eng.MemoryInUse()
+	p.MemLimitBytes = s.eng.MemoryLimit()
+	p.CacheEntries, p.CacheBytes = s.eng.CacheStats()
+	p.CacheLimitBytes = s.eng.CacheLimit()
+	active, _ := telemetry.DefaultQueries.Snapshot()
+	sort.SliceStable(active, func(i, j int) bool {
+		return active[i].Cost.TotalBytes() > active[j].Cost.TotalBytes()
+	})
+	p.Active = active
+	if s.opts.Alerts != nil {
+		p.Alerts = s.opts.Alerts.States()
+	}
+	return p
+}
+
+// handleTimeseries serves the ring's JSON window. ?samples=N bounds the
+// window to the newest N samples (0 or absent = the whole ring).
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	ts := s.opts.TimeSeries
+	if ts == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{"time-series collection disabled (no TimeSeries configured)"})
+		return
+	}
+	samples := 0
+	if v := r.URL.Query().Get("samples"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"bad samples parameter"})
+			return
+		}
+		samples = n
+	}
+	writeJSON(w, http.StatusOK, ts.Summary(samples))
+}
+
+// handleDashStream serves the SSE stream: one ": hb" heartbeat comment and
+// one "dash" event per interval, flushed immediately. ?interval_ms=N
+// overrides the cadence (clamped to ≥ 10ms); the default is the ring's
+// sample interval so every frame carries a fresh sample.
+func (s *Server) handleDashStream(w http.ResponseWriter, r *http.Request) {
+	ts := s.opts.TimeSeries
+	if ts == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{"time-series collection disabled (no TimeSeries configured)"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{"streaming unsupported"})
+		return
+	}
+	interval := ts.Interval()
+	if v := r.URL.Query().Get("interval_ms"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"bad interval_ms parameter"})
+			return
+		}
+		interval = time.Duration(n) * time.Millisecond
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	enc := json.NewEncoder(w)
+	seq := 0
+	send := func(now time.Time) bool {
+		// The heartbeat comment proves liveness even if the payload write
+		// fails mid-frame; both land in one flush.
+		if _, err := fmt.Fprintf(w, ": hb %d\n", seq); err != nil {
+			return false
+		}
+		seq++
+		if _, err := fmt.Fprint(w, "event: dash\ndata: "); err != nil {
+			return false
+		}
+		// Encode writes the JSON plus the first of the two newlines that
+		// terminate an SSE event.
+		if err := enc.Encode(s.dashPayload(now)); err != nil {
+			return false
+		}
+		if _, err := fmt.Fprint(w, "\n"); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	if !send(time.Now()) {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case now := <-tick.C:
+			if !send(now) {
+				return
+			}
+		}
+	}
+}
+
+// handleDash serves the self-contained dashboard page.
+func (s *Server) handleDash(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(dashHTML))
+}

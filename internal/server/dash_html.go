@@ -1,0 +1,328 @@
+package server
+
+// dashHTML is the self-contained /debug/dash page: no external assets, one
+// EventSource on /debug/dash/stream, SVG charts rendered client-side from a
+// rolling frame buffer. Palette and chart anatomy follow the repo's ops
+// dashboard conventions: categorical series in fixed slot order (blue,
+// orange, aqua), sequential blue for occupancy meters, reserved status
+// colors for alert chips (icon + label, never color alone), ink-colored
+// text throughout, hairline grid, legend plus direct labels on the
+// multi-series chart, and a crosshair tooltip on both time charts.
+const dashHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>vsserve dashboard</title>
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<style>
+:root {
+  color-scheme: light;
+  --page: #f9f9f7; --surface: #fcfcfb;
+  --ink: #0b0b0b; --ink2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a;
+  --good: #0ca30c; --critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --page: #0d0d0d; --surface: #1a1a19;
+    --ink: #ffffff; --ink2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --border: rgba(255,255,255,0.10);
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 16px; background: var(--page); color: var(--ink);
+  font: 13px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 15px; font-weight: 600; margin: 0; }
+header { display: flex; align-items: baseline; gap: 12px; margin-bottom: 12px; }
+#conn { color: var(--muted); font-size: 12px; }
+.grid { display: grid; grid-template-columns: repeat(auto-fit, minmax(320px, 1fr)); gap: 12px; }
+.card {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px; min-width: 0;
+}
+.card h2 { font-size: 12px; font-weight: 600; color: var(--ink2); margin: 0 0 8px; }
+.tiles { display: grid; grid-template-columns: repeat(auto-fit, minmax(130px, 1fr)); gap: 12px; margin-bottom: 12px; }
+.tile .v { font-size: 24px; font-weight: 600; }
+.tile .l { color: var(--muted); font-size: 12px; }
+.legend { display: flex; gap: 14px; font-size: 12px; color: var(--ink2); margin-top: 6px; }
+.legend .sw { display: inline-block; width: 10px; height: 10px; border-radius: 2px; margin-right: 5px; vertical-align: -1px; }
+.chart { position: relative; }
+.tip {
+  position: absolute; pointer-events: none; display: none;
+  background: var(--surface); border: 1px solid var(--border); border-radius: 6px;
+  padding: 6px 8px; font-size: 12px; color: var(--ink); box-shadow: 0 2px 8px rgba(0,0,0,0.12);
+  white-space: nowrap; z-index: 2;
+}
+.tip .t { color: var(--muted); }
+.meter { margin: 8px 0; }
+.meter .bar { height: 8px; border-radius: 4px; background: var(--grid); overflow: hidden; }
+.meter .fill { height: 100%; border-radius: 4px; background: var(--s1); }
+.meter .lab { display: flex; justify-content: space-between; color: var(--ink2); font-size: 12px; margin-bottom: 3px; }
+.meter .lab b { color: var(--ink); font-weight: 600; font-variant-numeric: tabular-nums; }
+.chips { display: flex; flex-wrap: wrap; gap: 8px; }
+.chip {
+  display: inline-flex; align-items: center; gap: 6px; font-size: 12px;
+  border: 1px solid var(--border); border-radius: 999px; padding: 3px 10px; color: var(--ink2);
+}
+.chip .ic { font-weight: 700; }
+.chip.ok .ic { color: var(--good); }
+.chip.firing { border-color: var(--critical); color: var(--ink); }
+.chip.firing .ic { color: var(--critical); }
+table { width: 100%; border-collapse: collapse; font-size: 12px; }
+th { text-align: left; color: var(--muted); font-weight: 500; border-bottom: 1px solid var(--grid); padding: 4px 8px 4px 0; }
+td { border-bottom: 1px solid var(--grid); padding: 4px 8px 4px 0; font-variant-numeric: tabular-nums; }
+td.q { max-width: 360px; overflow: hidden; text-overflow: ellipsis; white-space: nowrap; font-family: ui-monospace, monospace; color: var(--ink2); }
+.empty { color: var(--muted); padding: 8px 0; }
+svg text { fill: var(--muted); font-size: 10px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>vsserve &mdash; live dashboard</h1>
+  <span id="conn">connecting&hellip;</span>
+</header>
+
+<div class="tiles">
+  <div class="card tile"><div class="v" id="t-qps">&ndash;</div><div class="l">queries / s (1m)</div></div>
+  <div class="card tile"><div class="v" id="t-p95">&ndash;</div><div class="l">p95 latency (1m)</div></div>
+  <div class="card tile"><div class="v" id="t-inflight">&ndash;</div><div class="l">in-flight queries</div></div>
+  <div class="card tile"><div class="v" id="t-goro">&ndash;</div><div class="l">goroutines</div></div>
+</div>
+
+<div class="grid">
+  <div class="card">
+    <h2>QPS</h2>
+    <div class="chart" id="c-qps"></div>
+  </div>
+  <div class="card">
+    <h2>Query latency percentiles (ms)</h2>
+    <div class="chart" id="c-lat"></div>
+    <div class="legend">
+      <span><span class="sw" style="background:var(--s1)"></span>p50</span>
+      <span><span class="sw" style="background:var(--s2)"></span>p95</span>
+      <span><span class="sw" style="background:var(--s3)"></span>p99</span>
+    </div>
+  </div>
+  <div class="card">
+    <h2>Memory</h2>
+    <div class="meter" id="m-acct"></div>
+    <div class="meter" id="m-cache"></div>
+    <div class="meter" id="m-heap"></div>
+  </div>
+  <div class="card">
+    <h2>Alerts</h2>
+    <div class="chips" id="alerts"><span class="empty">no watcher attached</span></div>
+  </div>
+</div>
+
+<div class="card" style="margin-top:12px">
+  <h2>In-flight queries (by attributed bytes)</h2>
+  <div id="queries"><div class="empty">none</div></div>
+</div>
+
+<script>
+(function () {
+  "use strict";
+  var MAX = 300;
+  var hist = [];
+  var conn = document.getElementById("conn");
+
+  function fmtBytes(n) {
+    if (n == null) return "–";
+    var u = ["B", "KiB", "MiB", "GiB", "TiB"], i = 0;
+    while (n >= 1024 && i < u.length - 1) { n /= 1024; i++; }
+    return (i === 0 ? n : n.toFixed(1)) + " " + u[i];
+  }
+  function fmtMs(v) {
+    if (v == null) return "–";
+    if (v >= 1000) return (v / 1000).toFixed(2) + " s";
+    return v.toFixed(1) + " ms";
+  }
+  function esc(s) {
+    return String(s).replace(/&/g, "&amp;").replace(/</g, "&lt;").replace(/>/g, "&gt;");
+  }
+
+  // One line chart: series = [{key, color}], getter(frame, key) -> number|null.
+  function lineChart(el, series, getter) {
+    var W = 560, H = 140, PAD = { l: 6, r: 44, t: 8, b: 16 };
+    var tip = document.createElement("div");
+    tip.className = "tip";
+    el.appendChild(tip);
+    var svgHolder = document.createElement("div");
+    el.insertBefore(svgHolder, tip);
+
+    function render() {
+      var n = hist.length;
+      var max = 0;
+      var vals = series.map(function (s) {
+        return hist.map(function (f) {
+          var v = getter(f, s.key);
+          if (v != null && v > max) max = v;
+          return v;
+        });
+      });
+      if (max <= 0) max = 1;
+      max *= 1.1;
+      var iw = W - PAD.l - PAD.r, ih = H - PAD.t - PAD.b;
+      function x(i) { return PAD.l + (n < 2 ? iw : i * iw / (n - 1)); }
+      function y(v) { return PAD.t + ih - (v / max) * ih; }
+      var out = "";
+      // hairline grid: three horizontal lines + baseline
+      for (var g = 0; g <= 2; g++) {
+        var gy = PAD.t + ih * g / 2;
+        out += "<line x1='" + PAD.l + "' y1='" + gy + "' x2='" + (PAD.l + iw) +
+          "' y2='" + gy + "' stroke='var(--grid)' stroke-width='1'/>";
+      }
+      out += "<line x1='" + PAD.l + "' y1='" + (PAD.t + ih) + "' x2='" + (PAD.l + iw) +
+        "' y2='" + (PAD.t + ih) + "' stroke='var(--axis)' stroke-width='1'/>";
+      out += "<text x='" + (PAD.l + 2) + "' y='" + (PAD.t + 9) + "'>" + tickLabel(max) + "</text>";
+      series.forEach(function (s, si) {
+        var d = "", started = false, lastV = null;
+        for (var i = 0; i < n; i++) {
+          var v = vals[si][i];
+          if (v == null) { continue; }
+          d += (started ? "L" : "M") + x(i).toFixed(1) + " " + y(v).toFixed(1);
+          started = true;
+          lastV = v;
+        }
+        if (started) {
+          out += "<path d='" + d + "' fill='none' stroke='" + s.color + "' stroke-width='2' stroke-linejoin='round'/>";
+          if (series.length > 1) {
+            // direct label at the line end, ink-colored (identity never color-alone)
+            out += "<text x='" + (PAD.l + iw + 4) + "' y='" + (y(lastV) + 3) +
+              "' style='fill:var(--ink2)'>" + s.key + "</text>";
+          }
+        }
+      });
+      out += "<line id='xh' x1='0' y1='" + PAD.t + "' x2='0' y2='" + (PAD.t + ih) +
+        "' stroke='var(--axis)' stroke-width='1' visibility='hidden'/>";
+      svgHolder.innerHTML = "<svg viewBox='0 0 " + W + " " + H +
+        "' width='100%' height='" + H + "' preserveAspectRatio='none'>" + out + "</svg>";
+
+      var svg = svgHolder.firstChild;
+      var xh = svg.querySelector("#xh");
+      svg.onmousemove = function (ev) {
+        if (n < 1) return;
+        var r = svg.getBoundingClientRect();
+        var fx = (ev.clientX - r.left) / r.width * W;
+        var i = Math.round((fx - PAD.l) / (n < 2 ? iw : iw / (n - 1)));
+        if (i < 0) i = 0;
+        if (i >= n) i = n - 1;
+        var cx = x(i);
+        xh.setAttribute("x1", cx); xh.setAttribute("x2", cx);
+        xh.setAttribute("visibility", "visible");
+        var f = hist[i];
+        var html = "<span class='t'>" + new Date(f.ts_unix_ms).toLocaleTimeString() + "</span>";
+        series.forEach(function (s, si) {
+          var v = vals[si][i];
+          html += "<br><span class='sw' style='background:" + s.color +
+            ";display:inline-block;width:8px;height:8px;border-radius:2px;margin-right:4px'></span>" +
+            s.key + ": <b>" + (v == null ? "–" : v.toFixed(2)) + "</b>";
+        });
+        tip.innerHTML = html;
+        tip.style.display = "block";
+        var px = cx / W * r.width;
+        tip.style.left = Math.min(px + 10, r.width - 150) + "px";
+        tip.style.top = "8px";
+      };
+      svg.onmouseleave = function () {
+        tip.style.display = "none";
+        xh.setAttribute("visibility", "hidden");
+      };
+    }
+    return render;
+  }
+  function tickLabel(v) {
+    if (v >= 1000) return Math.round(v).toLocaleString();
+    if (v >= 10) return v.toFixed(0);
+    return v.toFixed(1);
+  }
+
+  var qpsChart = lineChart(document.getElementById("c-qps"),
+    [{ key: "qps", color: "var(--s1)" }],
+    function (f) { return f.qps; });
+  var latChart = lineChart(document.getElementById("c-lat"),
+    [{ key: "p50", color: "var(--s1)" }, { key: "p95", color: "var(--s2)" }, { key: "p99", color: "var(--s3)" }],
+    function (f, k) { return f[k + "_ms"]; });
+
+  function meter(el, label, used, limit) {
+    var pct = limit > 0 ? Math.min(100, 100 * used / limit) : 0;
+    el.innerHTML = "<div class='lab'><span>" + label + "</span><b>" + fmtBytes(used) +
+      (limit > 0 ? " / " + fmtBytes(limit) : "") + "</b></div>" +
+      (limit > 0
+        ? "<div class='bar'><div class='fill' style='width:" + pct.toFixed(1) + "%'></div></div>"
+        : "");
+  }
+
+  function renderAlerts(alerts) {
+    var el = document.getElementById("alerts");
+    if (!alerts || !alerts.length) {
+      el.innerHTML = "<span class='empty'>no watcher attached</span>";
+      return;
+    }
+    el.innerHTML = alerts.map(function (a) {
+      var firing = !!a.firing;
+      return "<span class='chip " + (firing ? "firing" : "ok") + "'>" +
+        "<span class='ic'>" + (firing ? "●" : "✓") + "</span>" +
+        esc(a.rule) + (firing ? " — firing" : " — ok") +
+        (a.detail ? " <span style='color:var(--muted)'>(" + esc(a.detail) + ")</span>" : "") +
+        "</span>";
+    }).join("");
+  }
+
+  function renderQueries(active) {
+    var el = document.getElementById("queries");
+    if (!active || !active.length) {
+      el.innerHTML = "<div class='empty'>none</div>";
+      return;
+    }
+    var rows = active.map(function (q) {
+      var c = q.cost || {};
+      var total = (c.matrix_bytes || 0) + (c.cache_bytes || 0) +
+        (c.spill_write_bytes || 0) + (c.spill_read_bytes || 0);
+      var p = q.progress || {};
+      return "<tr><td>" + q.id + "</td><td>" + esc(q.phase) +
+        (q.killed ? " (killed)" : "") + "</td><td>" + fmtMs(q.elapsed_ms) +
+        "</td><td>" + fmtMs(c.cpu_ms) + "</td><td>" + fmtBytes(total) +
+        "</td><td>" + (p.ops_done || 0) + "/" + (p.ops_total || 0) +
+        "</td><td>" + (c.rows || 0) + "</td><td class='q' title='" + esc(q.query) + "'>" +
+        esc(q.query) + "</td></tr>";
+    }).join("");
+    el.innerHTML = "<table><thead><tr><th>id</th><th>phase</th><th>elapsed</th>" +
+      "<th>cpu</th><th>bytes</th><th>ops</th><th>rows</th><th>query</th></tr></thead>" +
+      "<tbody>" + rows + "</tbody></table>";
+  }
+
+  function onFrame(f) {
+    hist.push(f);
+    if (hist.length > MAX) hist.shift();
+    document.getElementById("t-qps").textContent = f.qps.toFixed(2);
+    document.getElementById("t-p95").textContent = fmtMs(f.p95_ms);
+    document.getElementById("t-inflight").textContent = (f.active || []).length;
+    document.getElementById("t-goro").textContent = Math.round(f.goroutines);
+    qpsChart();
+    latChart();
+    meter(document.getElementById("m-acct"), "accountant", f.mem_used_bytes, f.mem_limit_bytes);
+    meter(document.getElementById("m-cache"),
+      "matrix cache (" + (f.cache_entries || 0) + " entries)", f.cache_bytes, f.cache_limit_bytes);
+    meter(document.getElementById("m-heap"), "go heap", f.heap_bytes, 0);
+    renderAlerts(f.alerts);
+    renderQueries(f.active);
+  }
+
+  var es = new EventSource("/debug/dash/stream");
+  es.addEventListener("dash", function (ev) {
+    conn.textContent = "live";
+    try { onFrame(JSON.parse(ev.data)); } catch (e) { conn.textContent = "bad frame"; }
+  });
+  es.onerror = function () { conn.textContent = "reconnecting…"; };
+})();
+</script>
+</body>
+</html>
+`

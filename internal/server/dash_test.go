@@ -1,0 +1,231 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// dashTestServer builds a server over the standard test graph with the
+// given observability options.
+func dashTestServer(t *testing.T, opts Options) *httptest.Server {
+	t.Helper()
+	srv, _ := testServer(t)
+	eng := srv.Config.Handler.(*Server).eng
+	wrapped := httptest.NewServer(NewWithOptions(eng, opts))
+	t.Cleanup(wrapped.Close)
+	return wrapped
+}
+
+// TestTimeseriesDisabled pins the contract for servers built without a
+// collector: the ring endpoints answer 503, not 404 or a panic.
+func TestTimeseriesDisabled(t *testing.T) {
+	srv, _ := testServer(t)
+	for _, path := range []string{"/debug/timeseries", "/debug/dash/stream"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s without TimeSeries: status %d, want 503", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestTimeseriesGoldenWindow drives a private registry through a fixed
+// tick sequence and compares GET /debug/timeseries byte-for-byte against
+// the checked-in golden window: cumulative counter decoding, histogram
+// count decoding, the window rate, and the interpolated quantiles all pin
+// at once.
+func TestTimeseriesGoldenWindow(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.NewCounter("t_queries_total", "Test counter.", nil)
+	h := reg.NewHistogram("t_lat_seconds", "Test latency.", nil, []float64{1, 2, 4})
+	ts := telemetry.NewTimeSeries(reg, time.Second, 4, nil)
+	defer ts.Close()
+	srv := dashTestServer(t, Options{TimeSeries: ts})
+
+	// Three ticks at fixed timestamps; the window reduction sees the
+	// counter climb 1→3→6 and one histogram observation per bucket step.
+	c.Add(1)
+	h.Observe(0.5)
+	ts.Tick(time.UnixMilli(1000))
+	c.Add(2)
+	h.Observe(1.5)
+	ts.Tick(time.UnixMilli(2000))
+	c.Add(3)
+	h.Observe(3)
+	ts.Tick(time.UnixMilli(3000))
+
+	resp, err := http.Get(srv.URL + "/debug/timeseries?samples=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(buf.String())
+
+	goldenPath := filepath.Join("testdata", "timeseries_window.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != strings.TrimSpace(string(want)) {
+		t.Errorf("window JSON drifted from golden\ngot:  %s\nwant: %s", got, strings.TrimSpace(string(want)))
+	}
+
+	// Independently verify the reductions the golden pins, so the golden
+	// cannot silently encode a wrong answer.
+	var sum telemetry.TimeseriesSummary
+	if err := json.Unmarshal([]byte(got), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{1, 3, 6}; len(sum.Series["t_queries_total"]) != 3 ||
+		sum.Series["t_queries_total"][0] != want[0] ||
+		sum.Series["t_queries_total"][1] != want[1] ||
+		sum.Series["t_queries_total"][2] != want[2] {
+		t.Errorf("counter series = %v, want %v", sum.Series["t_queries_total"], want)
+	}
+	hs, ok := sum.Histograms["t_lat_seconds"]
+	if !ok {
+		t.Fatalf("histogram missing from summary: %v", sum.Histograms)
+	}
+	// Window = samples 1..3: observations at 1.5 and 3 landed inside it
+	// (the 0.5 predates the window start), so count delta = 2 over 2s.
+	if hs.RatePerS != 1 {
+		t.Errorf("rate = %v, want 1/s", hs.RatePerS)
+	}
+	// p50 target is the first in-window observation's bucket (1,2]; linear
+	// interpolation with the full bucket mass at the target lands on the
+	// upper bound.
+	if hs.P50 == nil || *hs.P50 != 2 {
+		t.Errorf("p50 = %v, want 2", hs.P50)
+	}
+	// p95 lands 90% of the way into the (2,4] bucket: 2 + 2*0.9.
+	if hs.P95 == nil || *hs.P95 < 3.79 || *hs.P95 > 3.81 {
+		t.Errorf("p95 = %v, want ≈3.8", hs.P95)
+	}
+}
+
+// TestDashStreamHeartbeat (satellite S1) asserts the SSE contract: the
+// stream emits a heartbeat comment and a "dash" event every interval and
+// flushes them, so a client reading line-by-line sees multiple frames
+// within a few intervals.
+func TestDashStreamHeartbeat(t *testing.T) {
+	ts := telemetry.NewTimeSeries(telemetry.NewRegistry(), time.Second, 8, nil)
+	defer ts.Close()
+	srv := dashTestServer(t, Options{TimeSeries: ts})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		srv.URL+"/debug/dash/stream?interval_ms=20", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type %q", ct)
+	}
+
+	heartbeats, events := 0, 0
+	var payload DashPayload
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, ": hb"):
+			heartbeats++
+		case line == "event: dash":
+			events++
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &payload); err != nil {
+				t.Fatalf("bad frame %q: %v", line, err)
+			}
+		}
+		if heartbeats >= 3 && events >= 3 {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		t.Fatal(err)
+	}
+	if heartbeats < 3 || events < 3 {
+		t.Fatalf("saw %d heartbeats, %d events; want ≥3 of each", heartbeats, events)
+	}
+	if payload.TsUnixMs == 0 {
+		t.Fatalf("frame carried no timestamp: %+v", payload)
+	}
+	if payload.MemLimitBytes < 0 || payload.Active == nil {
+		t.Fatalf("frame = %+v", payload)
+	}
+}
+
+// TestQueryCostInHistory runs a real query through the wrapped server and
+// asserts the completed record carries attributed cost — the end-to-end
+// check that exec/engine attribution lands in /debug/queries.
+func TestQueryCostInHistory(t *testing.T) {
+	ts := telemetry.NewTimeSeries(telemetry.Default, time.Second, 8, nil)
+	defer ts.Close()
+	srv := dashTestServer(t, Options{TimeSeries: ts})
+
+	resp, body := post(t, srv, "/query", QueryRequest{
+		Query: `MATCH (p:SIGA)-[:knows*1..2]-(q:SIGB) RETURN COUNT(DISTINCT p,q)`,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+
+	dq, err := http.Get(srv.URL + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dq.Body.Close()
+	var dbg DebugQueriesResponse
+	if err := json.NewDecoder(dq.Body).Decode(&dbg); err != nil {
+		t.Fatal(err)
+	}
+	if len(dbg.History) == 0 {
+		t.Fatal("no completed queries in history")
+	}
+	rec := dbg.History[0]
+	if rec.Cost.CPUMs <= 0 {
+		t.Errorf("history record has no attributed CPU: %+v", rec.Cost)
+	}
+	if rec.Cost.MatrixBytes <= 0 && rec.Cost.CacheBytes <= 0 {
+		t.Errorf("history record has no attributed matrix/cache bytes: %+v", rec.Cost)
+	}
+}

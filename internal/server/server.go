@@ -13,6 +13,9 @@
 //	GET  /healthz                                     → 200 ok
 //	GET  /debug/queries                               → in-flight queries (live progress) + completed history
 //	DELETE /debug/queries/{id}                        → kill the in-flight query with that id
+//	GET  /debug/timeseries?samples=N                  → metric history window with rate/percentile reductions
+//	GET  /debug/dash                                  → self-contained live HTML dashboard
+//	GET  /debug/dash/stream                           → SSE stream of dashboard frames (heartbeat + "dash" events)
 //
 // Request bodies are bounded (Options.MaxRequestBytes, default 1 MiB).
 // With Options.Logger set, every request emits one structured access-log
@@ -57,6 +60,14 @@ type Options struct {
 	// returns 504 with the in-flight gauge restored. Client disconnects
 	// cancel the same way regardless of this setting.
 	QueryTimeout time.Duration
+	// TimeSeries, when non-nil, backs GET /debug/timeseries and the
+	// /debug/dash SSE stream. The server does not start or stop it — the
+	// owner (vsserve) controls its lifecycle. Nil answers those endpoints
+	// with 503.
+	TimeSeries *telemetry.TimeSeries
+	// Alerts, when non-nil, is the watcher whose rule states the dashboard
+	// stream reports (typically the one attached to TimeSeries).
+	Alerts *telemetry.Watcher
 }
 
 // Server is an http.Handler serving VLGPM queries over one graph.
@@ -86,6 +97,9 @@ func NewWithOptions(eng *engine.Engine, opts Options) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
 	s.mux.HandleFunc("DELETE /debug/queries/{id}", s.handleKillQuery)
+	s.mux.HandleFunc("GET /debug/timeseries", s.handleTimeseries)
+	s.mux.HandleFunc("GET /debug/dash", s.handleDash)
+	s.mux.HandleFunc("GET /debug/dash/stream", s.handleDashStream)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -167,6 +181,14 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.status = status
 	w.wrote = true
 	w.ResponseWriter.WriteHeader(status)
+}
+
+// Flush forwards http.Flusher through the access-log wrapper so the SSE
+// dashboard stream can push frames as they are produced.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (w *statusWriter) Write(p []byte) (int, error) {

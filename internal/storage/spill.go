@@ -150,6 +150,7 @@ func (s *SpillManager) SpillContext(ctx context.Context, worker int, m *bitmatri
 	s.bytes += int64(len(buf))
 	s.mu.Unlock()
 	telemetry.SpillWriteBytes.Add(int64(len(buf)))
+	telemetry.CurrentQuery(ctx).AddSpillWriteBytes(int64(len(buf)))
 	sp.SetInt("bytes", int64(len(buf)))
 	sp.SetInt("worker", int64(worker))
 	return Handle(id), nil
@@ -195,6 +196,7 @@ func (s *SpillManager) LoadContext(ctx context.Context, h Handle) (*bitmatrix.Ma
 		return nil, fmt.Errorf("storage: %w", err)
 	}
 	telemetry.SpillReadBytes.Add(int64(len(buf)))
+	telemetry.CurrentQuery(ctx).AddSpillReadBytes(int64(len(buf)))
 	sp.SetInt("bytes", int64(len(buf)))
 	m := bitmatrix.New(rec.rows, rec.cols)
 	words := m.Words()

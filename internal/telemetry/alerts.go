@@ -1,0 +1,137 @@
+// Threshold watchers over the time-series ring: small always-on rules that
+// turn the history the ring already holds into operator signals — a
+// structured slog event on every firing/resolved transition and a
+// vs_alerts_total{rule=…} counter. Rules read reductions (rates,
+// quantiles) over a short trailing window, so a one-sample blip does not
+// page anyone but a sustained condition does.
+package telemetry
+
+import (
+	"fmt"
+	"log/slog"
+	"time"
+)
+
+// AlertState is one rule's current evaluation.
+type AlertState struct {
+	Rule   string `json:"rule"`
+	Firing bool   `json:"firing"`
+	Detail string `json:"detail,omitempty"`
+	// SinceUnixMs stamps when the rule last transitioned into its current
+	// state (0 before the first evaluation).
+	SinceUnixMs int64 `json:"since_unix_ms,omitempty"`
+}
+
+// AlertRule is one watched condition. Check runs after every sample tick
+// with the ring to reduce over; it returns whether the condition currently
+// holds and a human-readable detail for the log event.
+type AlertRule struct {
+	Name  string
+	Check func(ts *TimeSeries) (firing bool, detail string)
+}
+
+// Watcher evaluates a set of rules after every tick of the TimeSeries it
+// is attached to, emitting slog events and counting transitions into
+// firings counters.
+type Watcher struct {
+	logger  *slog.Logger
+	rules   []AlertRule
+	states  []AlertState
+	firings []*Counter
+}
+
+// NewWatcher builds a watcher over rules. Transition counters register as
+// vs_alerts_total{rule=…} on reg (nil = the Default registry); logger may
+// be nil (transitions still count, nothing is logged).
+func NewWatcher(reg *Registry, logger *slog.Logger, rules ...AlertRule) *Watcher {
+	if reg == nil {
+		reg = Default
+	}
+	w := &Watcher{logger: logger, rules: rules, states: make([]AlertState, len(rules))}
+	for i, r := range rules {
+		w.states[i].Rule = r.Name
+		w.firings = append(w.firings, reg.NewCounter("vs_alerts_total",
+			"Alert-rule firings (transitions into the firing state).",
+			Labels{"rule": r.Name}))
+	}
+	return w
+}
+
+// Evaluate runs every rule once. Called by TimeSeries.Tick after each
+// sample; safe to call manually in tests.
+func (w *Watcher) Evaluate(ts *TimeSeries, now time.Time) {
+	for i := range w.rules {
+		firing, detail := w.rules[i].Check(ts)
+		st := &w.states[i]
+		st.Detail = detail
+		if firing == st.Firing {
+			continue
+		}
+		st.Firing = firing
+		st.SinceUnixMs = now.UnixMilli()
+		if firing {
+			w.firings[i].Inc()
+			if w.logger != nil {
+				w.logger.Warn("alert firing", "rule", st.Rule, "detail", detail)
+			}
+		} else if w.logger != nil {
+			w.logger.Info("alert resolved", "rule", st.Rule)
+		}
+	}
+}
+
+// States returns a copy of every rule's current state.
+func (w *Watcher) States() []AlertState {
+	out := make([]AlertState, len(w.states))
+	copy(out, w.states)
+	return out
+}
+
+// SLOBurnRule fires when the window p95 of total query latency exceeds
+// slo. window is in samples (0 = whole ring).
+func SLOBurnRule(slo time.Duration, window int) AlertRule {
+	return AlertRule{
+		Name: "slow_query_slo",
+		Check: func(ts *TimeSeries) (bool, string) {
+			p95, ok := ts.Quantile(`vs_query_stage_seconds{stage="total"}`, 0.95, window)
+			if !ok {
+				return false, ""
+			}
+			return p95 > slo.Seconds(), fmt.Sprintf("p95=%.1fms slo=%.1fms",
+				p95*1000, float64(slo.Milliseconds()))
+		},
+	}
+}
+
+// MemoryPressureRule fires when the accountant's occupancy exceeds frac of
+// its limit. usage reports (used, limit) bytes; a non-positive limit never
+// fires (unbounded budgets have no pressure point).
+func MemoryPressureRule(usage func() (used, limit int64), frac float64) AlertRule {
+	return AlertRule{
+		Name: "memory_pressure",
+		Check: func(*TimeSeries) (bool, string) {
+			used, limit := usage()
+			if limit <= 0 {
+				return false, ""
+			}
+			return float64(used) > frac*float64(limit),
+				fmt.Sprintf("used=%d limit=%d (%.0f%%)", used, limit, 100*float64(used)/float64(limit))
+		},
+	}
+}
+
+// CacheEvictionStormRule fires when matrix-cache evictions exceed perSec
+// over the trailing window (in samples, 0 = whole ring) — the signature of
+// a working set thrashing a too-small cache.
+func CacheEvictionStormRule(perSec float64, window int) AlertRule {
+	return AlertRule{
+		Name: "cache_eviction_storm",
+		Check: func(ts *TimeSeries) (bool, string) {
+			rate, ok := ts.Rate("vs_matrix_cache_evictions_total", window)
+			if !ok {
+				return false, ""
+			}
+			return rate > perSec, fmt.Sprintf("evictions=%.1f/s threshold=%.1f/s", rate, perSec)
+		},
+	}
+}

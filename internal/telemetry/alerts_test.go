@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"bytes"
+	"log/slog"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWatcherTransitions pins the firing model: the counter and the log
+// event record transitions into the firing state, not every firing tick,
+// and resolution logs without counting.
+func TestWatcherTransitions(t *testing.T) {
+	reg := NewRegistry()
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+
+	firing := false
+	rule := AlertRule{
+		Name:  "test_rule",
+		Check: func(*TimeSeries) (bool, string) { return firing, "detail-text" },
+	}
+	w := NewWatcher(reg, logger, rule)
+	ts := NewTimeSeries(reg, time.Second, 8, nil)
+	defer ts.Close()
+	ts.AddWatcher(w)
+
+	counter := func() float64 {
+		var out bytes.Buffer
+		_, _ = reg.WriteTo(&out)
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, `vs_alerts_total{rule="test_rule"}`) {
+				v, err := strconv.ParseFloat(line[strings.LastIndex(line, " ")+1:], 64)
+				if err == nil {
+					return v
+				}
+			}
+		}
+		return -1
+	}
+
+	tickAt(ts, 1000) // not firing
+	if got := counter(); got != 0 {
+		t.Fatalf("firings after quiet tick = %v", got)
+	}
+	st := w.States()
+	if len(st) != 1 || st[0].Firing {
+		t.Fatalf("states = %+v", st)
+	}
+
+	firing = true
+	tickAt(ts, 2000) // transition: fires once
+	tickAt(ts, 3000) // still firing: no new count
+	if got := counter(); got != 1 {
+		t.Errorf("firings after sustained condition = %v, want 1", got)
+	}
+	if st := w.States(); !st[0].Firing || st[0].SinceUnixMs != 2000 {
+		t.Errorf("state = %+v, want firing since 2000", st[0])
+	}
+	if out := buf.String(); !strings.Contains(out, "alert firing") ||
+		!strings.Contains(out, "test_rule") || !strings.Contains(out, "detail-text") {
+		t.Errorf("log missing firing event:\n%s", out)
+	}
+
+	firing = false
+	tickAt(ts, 4000) // resolves: logged, not counted
+	if got := counter(); got != 1 {
+		t.Errorf("firings after resolve = %v, want 1", got)
+	}
+	if st := w.States(); st[0].Firing || st[0].SinceUnixMs != 4000 {
+		t.Errorf("state = %+v, want resolved since 4000", st[0])
+	}
+	if !strings.Contains(buf.String(), "alert resolved") {
+		t.Errorf("log missing resolve event:\n%s", buf.String())
+	}
+
+	firing = true
+	tickAt(ts, 5000) // second transition: counts again
+	if got := counter(); got != 2 {
+		t.Errorf("firings after second transition = %v, want 2", got)
+	}
+}
+
+func TestSLOBurnRule(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("vs_query_stage_seconds", "t",
+		Labels{"stage": "total"}, []float64{0.01, 0.1, 1, 10})
+	ts := NewTimeSeries(reg, time.Second, 8, nil)
+	defer ts.Close()
+
+	rule := SLOBurnRule(200*time.Millisecond, 0)
+
+	// No observations: never fires.
+	tickAt(ts, 1000)
+	if firing, _ := rule.Check(ts); firing {
+		t.Error("fired with no observations")
+	}
+
+	// Fast queries: p95 ≈ 10ms, under the SLO.
+	for i := 0; i < 20; i++ {
+		h.Observe(0.005)
+	}
+	tickAt(ts, 2000)
+	if firing, detail := rule.Check(ts); firing {
+		t.Errorf("fired on fast queries: %s", detail)
+	}
+
+	// A burst of slow queries pushes p95 over 200ms.
+	for i := 0; i < 40; i++ {
+		h.Observe(5)
+	}
+	tickAt(ts, 3000)
+	if firing, detail := rule.Check(ts); !firing {
+		t.Errorf("did not fire on slow burst: %s", detail)
+	}
+}
+
+func TestMemoryPressureRule(t *testing.T) {
+	used, limit := int64(0), int64(1000)
+	rule := MemoryPressureRule(func() (int64, int64) { return used, limit }, 0.9)
+
+	if firing, _ := rule.Check(nil); firing {
+		t.Error("fired at zero usage")
+	}
+	used = 950
+	if firing, detail := rule.Check(nil); !firing || !strings.Contains(detail, "95%") {
+		t.Errorf("want firing at 95%%: %v %q", firing, detail)
+	}
+	limit = 0 // unbounded budget: no pressure point
+	if firing, _ := rule.Check(nil); firing {
+		t.Error("fired with no limit")
+	}
+}
+
+func TestCacheEvictionStormRule(t *testing.T) {
+	reg := NewRegistry()
+	ev := reg.NewCounter("vs_matrix_cache_evictions_total", "t", nil)
+	ts := NewTimeSeries(reg, time.Second, 8, nil)
+	defer ts.Close()
+
+	rule := CacheEvictionStormRule(10, 0)
+	tickAt(ts, 1000)
+	if firing, _ := rule.Check(ts); firing {
+		t.Error("fired with one sample (no rate)")
+	}
+	ev.Add(5)
+	tickAt(ts, 2000) // 5/s: under threshold
+	if firing, detail := rule.Check(ts); firing {
+		t.Errorf("fired under threshold: %s", detail)
+	}
+	ev.Add(100)
+	tickAt(ts, 3000) // trailing rate (105 evictions / 2s) > 10/s
+	if firing, detail := rule.Check(ts); !firing {
+		t.Errorf("did not fire on storm: %s", detail)
+	}
+}

@@ -1,6 +1,10 @@
 package telemetry
 
-import "time"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // Default is the process-wide registry behind GET /metrics. Engine-level
 // instruments below record into it from wherever queries run (HTTP server,
@@ -56,6 +60,87 @@ var (
 	ExecParallelExpands = Default.NewCounter("vs_exec_parallel_expands",
 		"Expand operators that ran concurrently with another expand of the same query.", nil)
 )
+
+// Per-query cost attribution totals (telemetry v3): every completed query
+// folds its attributed resources into these at registry completion, so the
+// process-wide exposition carries the same quantities /debug/queries shows
+// per query.
+var (
+	// QueryCostCPUSeconds accumulates operator busy time across queries
+	// (see QueryInfo.AddCPUNanos for the measurement model).
+	QueryCostCPUSeconds = Default.NewFloatCounter("vs_query_cost_cpu_seconds_total",
+		"Cumulative operator busy time attributed to completed queries.", nil)
+	// QueryCostBytes splits attributed bytes by resource.
+	QueryCostMatrixBytes = Default.NewCounter("vs_query_cost_bytes",
+		"Bytes attributed to completed queries by resource (matrix, cache, spill).",
+		Labels{"resource": "matrix"})
+	QueryCostCacheBytes = Default.NewCounter("vs_query_cost_bytes",
+		"Bytes attributed to completed queries by resource (matrix, cache, spill).",
+		Labels{"resource": "cache"})
+	QueryCostSpillBytes = Default.NewCounter("vs_query_cost_bytes",
+		"Bytes attributed to completed queries by resource (matrix, cache, spill).",
+		Labels{"resource": "spill"})
+	// QueryCostRows / QueryCostPairs total the tuples and expansion pairs
+	// completed queries produced.
+	QueryCostRows = Default.NewCounter("vs_query_cost_rows_total",
+		"Result tuples produced by completed queries.", nil)
+	QueryCostPairs = Default.NewCounter("vs_query_cost_pairs_total",
+		"Expansion (source, dst) pairs emitted by completed queries.", nil)
+)
+
+// recordQueryCost folds one completed query's attribution into the
+// process-wide cost counters.
+func recordQueryCost(c QueryCost) {
+	if c.CPUMs > 0 {
+		QueryCostCPUSeconds.Add(c.CPUMs / 1000)
+	}
+	if c.MatrixBytes > 0 {
+		QueryCostMatrixBytes.Add(c.MatrixBytes)
+	}
+	if c.CacheBytes > 0 {
+		QueryCostCacheBytes.Add(c.CacheBytes)
+	}
+	if n := c.SpillWriteBytes + c.SpillReadBytes; n > 0 {
+		QueryCostSpillBytes.Add(n)
+	}
+	if c.Rows > 0 {
+		QueryCostRows.Add(c.Rows)
+	}
+	if c.Pairs > 0 {
+		QueryCostPairs.Add(c.Pairs)
+	}
+}
+
+// memStats is the engine-provided (used, limit) source behind the
+// vs_memory_* gauges, swappable so the process's serving engine owns the
+// numbers no matter how many engines tests construct.
+var (
+	memStatsOnce sync.Once
+	memStatsFn   atomic.Value // func() (int64, int64)
+)
+
+// SetMemoryStats publishes an accountant's occupancy as
+// vs_memory_in_use_bytes / vs_memory_limit_bytes on the Default registry
+// (registered once; later calls only swap the source). usage returns
+// (used, limit) bytes; limit ≤ 0 means unmetered.
+func SetMemoryStats(usage func() (used, limit int64)) {
+	memStatsFn.Store(usage)
+	memStatsOnce.Do(func() {
+		load := func() (int64, int64) {
+			fn, _ := memStatsFn.Load().(func() (int64, int64))
+			if fn == nil {
+				return 0, 0
+			}
+			return fn()
+		}
+		Default.NewFuncGauge("vs_memory_in_use_bytes",
+			"Bytes currently reserved against the engine memory budget (live intermediates plus cache residency).", nil,
+			func() float64 { used, _ := load(); return float64(used) })
+		Default.NewFuncGauge("vs_memory_limit_bytes",
+			"Configured engine memory budget in bytes (0 = unlimited).", nil,
+			func() float64 { _, limit := load(); return float64(limit) })
+	})
+}
 
 // Per-stage latency histograms: one family, labeled by stage, matching the
 // engine.Timings breakdown (Figure 8's components).

@@ -74,6 +74,43 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, cw.err
 }
 
+// instrumentRef is one registered instrument with its family identity —
+// the enumeration the time-series collector syncs its columns from.
+type instrumentRef struct {
+	family string
+	kind   string
+	inst   exposer
+}
+
+// instrumentCount returns how many instruments are registered — a cheap
+// staleness check the time-series collector performs before re-walking the
+// registry.
+func (r *Registry) instrumentCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, f := range r.families {
+		n += len(f.instruments)
+	}
+	return n
+}
+
+// snapshotInstruments lists every registered instrument in family
+// registration order (instruments within a family in their own
+// registration order).
+func (r *Registry) snapshotInstruments() []instrumentRef {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []instrumentRef
+	for _, name := range r.names {
+		f := r.families[name]
+		for _, inst := range f.instruments {
+			out = append(out, instrumentRef{family: f.name, kind: f.kind, inst: inst})
+		}
+	}
+	return out
+}
+
 type countingWriter struct {
 	w   io.Writer
 	n   int64
@@ -220,6 +257,38 @@ func (r *Registry) NewFuncCounter(name, help string, labels Labels, fn func() fl
 
 func (c *FuncCounter) expose(w io.Writer, name string) {
 	fmt.Fprintf(w, "%s %s\n", seriesName(name, c.labels), formatBound(c.fn()))
+}
+
+// FloatCounter is a monotonically increasing float64 metric — for
+// cumulative quantities that are not integral, like attributed CPU seconds.
+type FloatCounter struct {
+	bits   atomic.Uint64 // float64 bits, CAS-accumulated
+	labels string
+}
+
+// NewFloatCounter registers a float-valued counter.
+func (r *Registry) NewFloatCounter(name, help string, labels Labels) *FloatCounter {
+	c := &FloatCounter{labels: labels.render()}
+	r.register(name, help, "counter", c)
+	return c
+}
+
+// Add accumulates delta (must be ≥ 0 to keep the counter monotone).
+func (c *FloatCounter) Add(delta float64) {
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the current cumulative value.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *FloatCounter) expose(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %s\n", seriesName(name, c.labels), formatBound(c.Value()))
 }
 
 // Histogram is a fixed-bucket histogram of float64 observations (typically

@@ -74,6 +74,15 @@ type QueryInfo struct {
 	pairs      atomic.Int64
 	matrixB    atomic.Int64
 	cacheHits  atomic.Int64
+
+	// Resource attribution (telemetry v3): accumulated at operator
+	// boundaries and in the spill path, surfaced live in snapshots and as
+	// totals in the history ring and the vs_query_cost_* metric family.
+	cpuNs   atomic.Int64
+	cacheB  atomic.Int64
+	spillW  atomic.Int64
+	spillR  atomic.Int64
+	rowsOut atomic.Int64
 }
 
 // ID returns the registry-assigned query id (0 on nil).
@@ -161,6 +170,102 @@ func (q *QueryInfo) AddCacheHit() {
 	q.cacheHits.Add(1)
 }
 
+// AddCPUNanos attributes operator busy time to the query. The exec DAG
+// scheduler samples the clock at operator boundaries, so this is the wall
+// time the query's operators spent on their scheduler goroutines — the
+// closest portable proxy for per-goroutine CPU the runtime exposes.
+//
+//vs:hotpath
+func (q *QueryInfo) AddCPUNanos(n int64) {
+	if q == nil {
+		return
+	}
+	q.cpuNs.Add(n)
+}
+
+// AddCacheBytes accumulates matrix bytes served to this query from the
+// engine-level cache (work the query consumed but did not perform).
+//
+//vs:hotpath
+func (q *QueryInfo) AddCacheBytes(n int64) {
+	if q == nil {
+		return
+	}
+	q.cacheB.Add(n)
+}
+
+// AddSpillWriteBytes accumulates bytes this query spilled to disk.
+//
+//vs:hotpath
+func (q *QueryInfo) AddSpillWriteBytes(n int64) {
+	if q == nil {
+		return
+	}
+	q.spillW.Add(n)
+}
+
+// AddSpillReadBytes accumulates bytes this query read back from spill.
+//
+//vs:hotpath
+func (q *QueryInfo) AddSpillReadBytes(n int64) {
+	if q == nil {
+		return
+	}
+	q.spillR.Add(n)
+}
+
+// AddRows accumulates result tuples the query's aggregates produced.
+//
+//vs:hotpath
+func (q *QueryInfo) AddRows(n int64) {
+	if q == nil {
+		return
+	}
+	q.rowsOut.Add(n)
+}
+
+// QueryCost is one query's attributed resource totals — the quantities the
+// paper's intermediate-result argument is about, per query instead of per
+// process.
+type QueryCost struct {
+	// CPUMs is operator busy time in milliseconds (see AddCPUNanos for the
+	// measurement model).
+	CPUMs float64 `json:"cpu_ms"`
+	// MatrixBytes is bit-matrix bytes the query's expansions reserved.
+	MatrixBytes int64 `json:"matrix_bytes"`
+	// CacheHits / CacheBytes count expansions (and their matrix bytes)
+	// served from the engine-level cache.
+	CacheHits  int64 `json:"cache_hits"`
+	CacheBytes int64 `json:"cache_bytes"`
+	// SpillWriteBytes / SpillReadBytes is the query's out-of-core traffic.
+	SpillWriteBytes int64 `json:"spill_write_bytes"`
+	SpillReadBytes  int64 `json:"spill_read_bytes"`
+	// Pairs is cumulative (source, dst) pairs emitted by expansion steps.
+	Pairs int64 `json:"pairs"`
+	// Rows is result tuples produced by the query's aggregates.
+	Rows int64 `json:"rows"`
+}
+
+// TotalBytes is the query's attributed byte footprint — the sort key the
+// dashboards use for "most expensive in-flight query".
+func (c QueryCost) TotalBytes() int64 {
+	return c.MatrixBytes + c.CacheBytes + c.SpillWriteBytes + c.SpillReadBytes
+}
+
+// cost reads the attribution counters into a QueryCost.
+func (q *QueryInfo) cost() QueryCost {
+	return QueryCost{
+		CPUMs:           float64(q.cpuNs.Load()) / 1e6,
+		MatrixBytes:     q.matrixB.Load(),
+		CacheHits:       q.cacheHits.Load(),
+		CacheBytes:      q.cacheB.Load(),
+		SpillWriteBytes: q.spillW.Load(),
+		SpillReadBytes:  q.spillR.Load(),
+		Pairs:           q.pairs.Load(),
+		Rows:            q.rowsOut.Load(),
+	}
+}
+
 // ProgressSnapshot is the lock-free counters of one query, read once.
 type ProgressSnapshot struct {
 	// OpsTotal is the number of operators the scheduler registered;
@@ -209,6 +314,9 @@ type QuerySnapshot struct {
 	Phase       string           `json:"phase"`
 	Killed      bool             `json:"killed,omitempty"`
 	Progress    ProgressSnapshot `json:"progress"`
+	// Cost is the resource attribution accumulated so far — live while the
+	// query runs.
+	Cost QueryCost `json:"cost"`
 }
 
 // QueryRecord is one completed query in the history ring.
@@ -222,6 +330,8 @@ type QueryRecord struct {
 	Status string `json:"status"`
 	Rows   int64  `json:"rows"`
 	Error  string `json:"error,omitempty"`
+	// Cost is the query's final resource attribution.
+	Cost QueryCost `json:"cost"`
 }
 
 // QueryRegistry tracks in-flight queries and retains a fixed-size ring of
@@ -281,6 +391,7 @@ func (r *QueryRegistry) Complete(qi *QueryInfo, rows int64, err error) {
 		DurationMs:  float64(time.Since(qi.start)) / float64(time.Millisecond),
 		Status:      "ok",
 		Rows:        rows,
+		Cost:        qi.cost(),
 	}
 	if err != nil {
 		rec.Status = "error"
@@ -289,6 +400,7 @@ func (r *QueryRegistry) Complete(qi *QueryInfo, rows int64, err error) {
 	if qi.killed.Load() {
 		rec.Status = "killed"
 	}
+	recordQueryCost(rec.Cost)
 	r.mu.Lock()
 	delete(r.active, qi.id)
 	if len(r.history) < r.histCap {
@@ -351,6 +463,7 @@ func (r *QueryRegistry) Snapshot() (active []QuerySnapshot, history []QueryRecor
 			Phase:       QueryPhase(qi.phase.Load()).String(),
 			Killed:      qi.killed.Load(),
 			Progress:    qi.progress(),
+			Cost:        qi.cost(),
 		})
 	}
 	return active, history

@@ -1,0 +1,333 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// tickAt advances the ring with a deterministic timestamp.
+func tickAt(ts *TimeSeries, ms int64) { ts.Tick(time.UnixMilli(ms)) }
+
+func TestDeltaDecoding(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("c_total", "t", nil)
+	g := reg.NewGauge("g_now", "t", nil)
+	fc := reg.NewFloatCounter("f_total", "t", nil)
+	ts := NewTimeSeries(reg, time.Second, 8, nil)
+	defer ts.Close()
+
+	c.Add(5)
+	g.Set(10)
+	fc.Add(0.5)
+	tickAt(ts, 1000)
+	c.Add(3)
+	g.Set(4) // gauges go down; deltas must still decode
+	fc.Add(0.25)
+	tickAt(ts, 2000)
+	g.Set(7)
+	tickAt(ts, 3000)
+
+	sum := ts.Summary(0)
+	if sum.Samples != 3 {
+		t.Fatalf("samples = %d", sum.Samples)
+	}
+	want := map[string][]float64{
+		"c_total": {5, 8, 8},
+		"g_now":   {10, 4, 7},
+		"f_total": {0.5, 0.75, 0.75},
+	}
+	for name, w := range want {
+		got := sum.Series[name]
+		if len(got) != len(w) {
+			t.Fatalf("%s = %v, want %v", name, got, w)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Errorf("%s[%d] = %v, want %v", name, i, got[i], w[i])
+			}
+		}
+	}
+	// Partial window: the newest two samples only.
+	sub := ts.Summary(2)
+	if got := sub.Series["g_now"]; len(got) != 2 || got[0] != 4 || got[1] != 7 {
+		t.Errorf("2-sample gauge window = %v, want [4 7]", got)
+	}
+	if got := sub.TimesUnixMs; len(got) != 2 || got[0] != 2000 || got[1] != 3000 {
+		t.Errorf("2-sample times = %v", got)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("c_total", "t", nil)
+	ts := NewTimeSeries(reg, time.Second, 4, nil)
+	defer ts.Close()
+
+	// 10 ticks into a 4-slot ring: value at tick i is i+1, timestamps
+	// 1000·(i+1). The ring must retain ticks 7..10 exactly.
+	for i := 0; i < 10; i++ {
+		c.Inc()
+		tickAt(ts, int64(1000*(i+1)))
+	}
+	if ts.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ts.Len())
+	}
+	sum := ts.Summary(0)
+	wantVals := []float64{7, 8, 9, 10}
+	wantTimes := []int64{7000, 8000, 9000, 10000}
+	for i := range wantVals {
+		if sum.Series["c_total"][i] != wantVals[i] {
+			t.Errorf("series[%d] = %v, want %v", i, sum.Series["c_total"][i], wantVals[i])
+		}
+		if sum.TimesUnixMs[i] != wantTimes[i] {
+			t.Errorf("times[%d] = %v, want %v", i, sum.TimesUnixMs[i], wantTimes[i])
+		}
+	}
+	// Rate over the full retained window: 3 increments over 3 seconds.
+	if r, ok := ts.Rate("c_total", 0); !ok || r != 1 {
+		t.Errorf("Rate = %v, %v; want 1, true", r, ok)
+	}
+	// Latest sees the newest raw value even after wrapping.
+	if v, ok := ts.Latest("c_total"); !ok || v != 10 {
+		t.Errorf("Latest = %v, %v", v, ok)
+	}
+}
+
+func TestRateEdges(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("c_total", "t", nil)
+	ts := NewTimeSeries(reg, time.Second, 8, nil)
+	defer ts.Close()
+
+	if _, ok := ts.Rate("c_total", 0); ok {
+		t.Error("rate on empty ring should fail")
+	}
+	c.Add(4)
+	tickAt(ts, 1000)
+	if _, ok := ts.Rate("c_total", 0); ok {
+		t.Error("rate on a single sample should fail (no interval)")
+	}
+	c.Add(6)
+	tickAt(ts, 3000) // 2s later
+	if r, ok := ts.Rate("c_total", 0); !ok || r != 3 {
+		t.Errorf("Rate = %v, %v; want 3, true", r, ok)
+	}
+	if _, ok := ts.Rate("missing", 0); ok {
+		t.Error("rate on unknown series should fail")
+	}
+}
+
+func TestQuantileExact(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("lat_seconds", "t", nil, []float64{1, 2, 4})
+	ts := NewTimeSeries(reg, time.Second, 8, nil)
+	defer ts.Close()
+
+	// Empty window: no samples at all.
+	if _, ok := ts.Quantile("lat_seconds", 0.5, 0); ok {
+		t.Error("quantile on empty ring should fail")
+	}
+
+	// Tick 1: four observations spread over the finite buckets.
+	h.Observe(0.5) // (0,1]
+	h.Observe(1.5) // (1,2]
+	h.Observe(3.0) // (2,4]
+	h.Observe(3.0) // (2,4]
+	tickAt(ts, 1000)
+
+	// Single-sample window falls back to all-of-history counts:
+	// counts [1,1,2,0], total 4.
+	// p50 target=2 lands at the (1,2] bucket's full mass → upper bound 2.
+	if q, ok := ts.Quantile("lat_seconds", 0.5, 1); !ok || q != 2 {
+		t.Errorf("p50 = %v, %v; want 2, true", q, ok)
+	}
+	// p75 target=3 lands halfway through the (2,4] bucket → 3.
+	if q, ok := ts.Quantile("lat_seconds", 0.75, 1); !ok || q != 3 {
+		t.Errorf("p75 = %v, %v; want 3, true", q, ok)
+	}
+
+	// Tick 2: no new observations — the two-sample window is empty.
+	tickAt(ts, 2000)
+	if _, ok := ts.Quantile("lat_seconds", 0.5, 2); ok {
+		t.Error("quantile over a window with no observations should fail")
+	}
+
+	// Tick 3: observations beyond the last bound clamp to it.
+	h.Observe(100)
+	h.Observe(100)
+	tickAt(ts, 3000)
+	if q, ok := ts.Quantile("lat_seconds", 0.5, 2); !ok || q != 4 {
+		t.Errorf("+Inf p50 = %v, %v; want clamp to 4", q, ok)
+	}
+
+	// Degenerate p.
+	if _, ok := ts.Quantile("lat_seconds", 0, 0); ok {
+		t.Error("p=0 should fail")
+	}
+	if _, ok := ts.Quantile("lat_seconds", 1, 0); ok {
+		t.Error("p=1 should fail")
+	}
+	if _, ok := ts.Quantile("missing", 0.5, 0); ok {
+		t.Error("unknown histogram should fail")
+	}
+}
+
+func TestQuantileWindowExcludesOldObservations(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("lat_seconds", "t", nil, []float64{1, 10})
+	ts := NewTimeSeries(reg, time.Second, 8, nil)
+	defer ts.Close()
+
+	// A slow observation before the window, fast ones inside it: the
+	// window reduction must only see the fast ones.
+	h.Observe(9)
+	tickAt(ts, 1000)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	tickAt(ts, 2000)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	tickAt(ts, 3000)
+
+	q, ok := ts.Quantile("lat_seconds", 0.95, 3)
+	if !ok {
+		t.Fatal("no quantile")
+	}
+	if q > 1 {
+		t.Errorf("window p95 = %v; the out-of-window slow observation leaked in", q)
+	}
+}
+
+// fakeBudget records reservations for the budget-accounting test.
+type fakeBudget struct {
+	mu       sync.Mutex
+	reserved int64
+}
+
+func (b *fakeBudget) Reserve(n int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reserved += n
+	return nil
+}
+
+func (b *fakeBudget) Release(n int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.reserved -= n
+}
+
+func TestBudgetAccounting(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("a_total", "t", nil)
+	reg.NewGauge("b_now", "t", nil)
+	b := &fakeBudget{}
+	ts := NewTimeSeries(reg, time.Second, 16, b)
+
+	tickAt(ts, 1000)
+	b.mu.Lock()
+	afterFirst := b.reserved
+	b.mu.Unlock()
+	// Two scalar columns × 16 slots × 8 bytes.
+	if want := int64(2 * 16 * 8); afterFirst != want {
+		t.Errorf("reserved = %d, want %d", afterFirst, want)
+	}
+
+	// A new instrument appearing later grows the reservation.
+	reg.NewCounter("c_total", "t", nil)
+	tickAt(ts, 2000)
+	b.mu.Lock()
+	afterGrow := b.reserved
+	b.mu.Unlock()
+	if want := int64(3 * 16 * 8); afterGrow != want {
+		t.Errorf("reserved after growth = %d, want %d", afterGrow, want)
+	}
+
+	ts.Close()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.reserved != 0 {
+		t.Errorf("reserved after Close = %d, want 0", b.reserved)
+	}
+}
+
+// TestConcurrentTicksAndReads exercises the ring under -race: writers
+// update instruments, one goroutine ticks, readers reduce.
+func TestConcurrentTicksAndReads(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("c_total", "t", nil)
+	h := reg.NewHistogram("lat_seconds", "t", nil, []float64{0.01, 0.1, 1})
+	ts := NewTimeSeries(reg, time.Millisecond, 32, nil)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Inc()
+			h.Observe(float64(i%100) / 100)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			tickAt(ts, int64(1000+i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = ts.Summary(8)
+			_, _ = ts.Rate("c_total", 16)
+			_, _ = ts.Quantile("lat_seconds", 0.95, 16)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+// TestTickAllocs (satellite S6) pins the sample path at zero allocations
+// once columns exist: counters, gauges, and histograms sample with atomic
+// loads and slice stores only.
+func TestTickAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("c_total", "t", nil)
+	reg.NewGauge("g_now", "t", nil)
+	h := reg.NewHistogram("lat_seconds", "t", nil, []float64{0.01, 0.1, 1})
+	ts := NewTimeSeries(reg, time.Second, 64, nil)
+	defer ts.Close()
+	c.Add(1)
+	h.Observe(0.5)
+	tickAt(ts, 1000) // cold tick: builds columns
+
+	now := time.UnixMilli(2000)
+	if n := testing.AllocsPerRun(200, func() { ts.Tick(now) }); n != 0 {
+		t.Errorf("Tick allocates %v per run, want 0", n)
+	}
+}
+
+// TestDisabledAttributionAllocs (satellite S6) pins the nil-receiver
+// attribution path — what unregistered executions pay — at zero
+// allocations.
+func TestDisabledAttributionAllocs(t *testing.T) {
+	var q *QueryInfo
+	if n := testing.AllocsPerRun(200, func() {
+		q.AddCPUNanos(5)
+		q.AddCacheBytes(10)
+		q.AddSpillWriteBytes(10)
+		q.AddSpillReadBytes(10)
+		q.AddRows(1)
+		q.AddMatrixBytes(64)
+	}); n != 0 {
+		t.Errorf("nil QueryInfo attribution allocates %v per run, want 0", n)
+	}
+}

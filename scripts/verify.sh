@@ -117,6 +117,40 @@ if [ -z "${SKIP_SMOKE:-}" ]; then
     echo "$metrics" | grep -q '^vs_build_info{' \
         || { echo "vs_build_info gauge missing on /metrics" >&2; exit 1; }
 
+    # The time-series ring must be sampling: vsserve defaults to a 1s
+    # interval, so within a few seconds /debug/timeseries accumulates ≥ 2
+    # samples carrying the queries-total series.
+    samples=0
+    for _ in $(seq 1 40); do
+        samples="$(curl -fsS "http://$hostport/debug/timeseries" \
+            | sed -n 's/.*"samples":\([0-9]*\).*/\1/p')"
+        [ -n "$samples" ] && [ "$samples" -ge 2 ] && break
+        sleep 0.25
+    done
+    [ -n "$samples" ] && [ "$samples" -ge 2 ] \
+        || { echo "/debug/timeseries never reached 2 samples (got '$samples')" >&2; exit 1; }
+    curl -fsS "http://$hostport/debug/timeseries" | grep -q '"vs_queries_total"' \
+        || { echo "/debug/timeseries window is missing vs_queries_total" >&2; exit 1; }
+
+    # The dashboard page and its SSE stream must be live: the stream's
+    # first frame (heartbeat comment + dash event) arrives immediately.
+    # Capture before grepping: grep -q closes the pipe at first match,
+    # which under pipefail turns curl's EPIPE into a spurious failure.
+    dashpage="$(curl -fsS "http://$hostport/debug/dash")"
+    printf '%s' "$dashpage" | grep -q 'vsserve' \
+        || { echo "/debug/dash page missing" >&2; exit 1; }
+    # curl is cut off by --max-time / the closed pipe by design; only the
+    # grep verdict matters.
+    frames="$( (curl -fsS --max-time 5 -N "http://$hostport/debug/dash/stream" 2>/dev/null || true) | head -c 4096 )"
+    printf '%s' "$frames" | grep -q 'event: dash' \
+        || { echo "/debug/dash/stream produced no dash event" >&2; exit 1; }
+
+    # Completed queries must land in the per-query cost metric family with
+    # real attributed bytes.
+    costb="$(curl -fsS "http://$hostport/metrics" | sed -n 's/^vs_query_cost_bytes{resource="matrix"} //p')"
+    [ -n "$costb" ] && [ "$costb" -ge 1 ] \
+        || { echo "vs_query_cost_bytes{resource=\"matrix\"} not accumulating (got '$costb')" >&2; exit 1; }
+
     # Repeating the query must hit the engine-level matrix cache (vsserve
     # enables it by default).
     curl -fsS "http://$hostport/query" \
