@@ -1,0 +1,277 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/cypher"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/session"
+	"repro/internal/wire"
+)
+
+const pairQuery = `MATCH (p:Person)-[:knows]-(q:Person) RETURN p, q`
+
+// startServer runs a wire server over a deterministic graph and returns its
+// address plus the service for white-box assertions.
+func startServer(t testing.TB, opts session.Options) (string, *session.Service) {
+	t.Helper()
+	g, err := datagen.SocialNetwork(datagen.SocialConfig{
+		NumVertices: 200, NumEdges: 700, Seed: 8, CommunityFraction: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := session.NewService(engine.New(g, engine.Options{}), opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := wire.NewServer(svc, wire.Options{})
+	go ws.Serve(ln)
+	t.Cleanup(func() {
+		ln.Close()
+		ws.Close()
+	})
+	return ln.Addr().String(), svc
+}
+
+func sortRows(rows [][]any) {
+	sort.Slice(rows, func(i, j int) bool {
+		return fmt.Sprint(rows[i]) < fmt.Sprint(rows[j])
+	})
+}
+
+// TestWireMatchesEngine streams a multi-batch result over the wire and
+// compares it row-for-row with the engine's materialized answer.
+func TestWireMatchesEngine(t *testing.T) {
+	addr, svc := startServer(t, session.Options{FetchBatch: 64})
+
+	q, err := cypher.Parse(pairQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := svc.Execute(context.Background(), q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := client.Dial(addr, client.Options{DialTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if info := c.Server(); info.Server != "vsserve" || info.FetchBatch != 64 {
+		t.Fatalf("HELLO metadata = %+v", info)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := c.Run(pairQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Streaming() {
+		t.Fatal("pair query should stream")
+	}
+	if !reflect.DeepEqual(rows.Columns(), want.Columns) {
+		t.Fatalf("columns = %v, want %v", rows.Columns(), want.Columns)
+	}
+	var got [][]any
+	for {
+		row, err := rows.Next()
+		if err == client.ErrDone {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, row)
+	}
+	if len(got) <= 64 {
+		t.Fatalf("result must span several batches, got %d rows", len(got))
+	}
+	wantRows := append([][]any(nil), want.Rows...)
+	sortRows(wantRows)
+	sortRows(got)
+	if !reflect.DeepEqual(got, wantRows) {
+		t.Fatalf("wire rows differ from engine: %d vs %d", len(got), len(wantRows))
+	}
+}
+
+// TestWireAggregate runs a non-streamable query (materialized server-side)
+// with parameters through the same client API.
+func TestWireAggregate(t *testing.T) {
+	addr, _ := startServer(t, session.Options{})
+	c, err := client.Dial(addr, client.Options{DialTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rows, err := c.Run(`MATCH (p:Person)-[:knows]-(q:Person) RETURN COUNT(DISTINCT p,q)`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Streaming() {
+		t.Fatal("aggregate should not stream")
+	}
+	row, err := rows.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := row[0].(int64)
+	if !ok || n <= 0 {
+		t.Fatalf("COUNT row = %#v", row)
+	}
+	if _, err := rows.Next(); err != client.ErrDone {
+		t.Fatalf("after last row: %v, want ErrDone", err)
+	}
+}
+
+// TestWireErrors: syntax and execution failures arrive as typed
+// ServerErrors with their protocol code, and the connection survives them.
+func TestWireErrors(t *testing.T) {
+	addr, _ := startServer(t, session.Options{})
+	c, err := client.Dial(addr, client.Options{DialTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var serr *client.ServerError
+	if _, err := c.Run("MATCH oops", nil); !errors.As(err, &serr) || serr.Code != "syntax_error" {
+		t.Fatalf("syntax error = %v", err)
+	}
+	// Non-streamable queries bind eagerly, so a bad label fails at Run.
+	if _, err := c.Run("MATCH (p:NoSuchLabel)-[:knows]-(q) RETURN COUNT(q)", nil); !errors.As(err, &serr) || serr.Code != "query_error" {
+		t.Fatalf("query error = %v", err)
+	}
+	// A streamable query's binding failure surfaces on the first fetch (the
+	// RUN/FETCH split) as a query_error after zero rows.
+	rows, err := c.Run("MATCH (p:NoSuchLabel)-[:knows]-(q) RETURN p, q", nil)
+	if err != nil {
+		t.Fatalf("streamable RUN should succeed, got %v", err)
+	}
+	if _, err := rows.Next(); !errors.As(err, &serr) || serr.Code != "query_error" {
+		t.Fatalf("streamed bind error = %v", err)
+	}
+	// The connection is still usable.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireDisconnectReapsCursor kills the TCP connection mid-stream and
+// expects the server to cancel the producer, close the session, and return
+// the accountant to baseline — the abandoned-client path.
+func TestWireDisconnectReapsCursor(t *testing.T) {
+	addr, svc := startServer(t, session.Options{FetchBatch: 4})
+	acct := svc.Engine().Accountant()
+	base := acct.InUse()
+
+	c, err := client.Dial(addr, client.Options{DialTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Run(pairQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rows.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if svc.SessionCount() != 1 {
+		t.Fatalf("session count = %d", svc.SessionCount())
+	}
+	c.Close() // connection drops with the cursor mid-stream
+
+	deadline := time.After(5 * time.Second)
+	for svc.SessionCount() != 0 || acct.InUse() != base {
+		select {
+		case <-deadline:
+			t.Fatalf("after disconnect: sessions=%d, in-use=%d (base %d)",
+				svc.SessionCount(), acct.InUse(), base)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestWireConcurrentClients drives several connections at once under -race.
+func TestWireConcurrentClients(t *testing.T) {
+	addr, svc := startServer(t, session.Options{FetchBatch: 32})
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.Options{DialTimeout: 5 * time.Second})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			rows, err := c.Run(pairQuery+fmt.Sprintf(" LIMIT %d", 50+i), nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var n int
+			for {
+				_, err := rows.Next()
+				if err == client.ErrDone {
+					break
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				n++
+			}
+			if n != 50+i {
+				t.Errorf("client %d got %d rows, want %d", i, n, 50+i)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	deadline := time.After(5 * time.Second)
+	for svc.SessionCount() != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("session count = %d after all clients closed", svc.SessionCount())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestWireRejectsBadVersion: the handshake answers 0 and closes on an
+// unsupported proposal.
+func TestWireRejectsBadVersion(t *testing.T) {
+	addr, _ := startServer(t, session.Options{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{'V', 'S', 'W', 'P', 0, 0, 0, 99}); err != nil {
+		t.Fatal(err)
+	}
+	var accept [4]byte
+	if _, err := conn.Read(accept[:]); err != nil {
+		t.Fatal(err)
+	}
+	if accept != [4]byte{} {
+		t.Fatalf("server accepted version 99: % x", accept)
+	}
+}

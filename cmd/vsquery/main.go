@@ -19,10 +19,16 @@
 // Parameters given as -param name=value are typed by shape: integers become
 // int64, true/false become bool, comma-separated integers become an int64
 // list (for UNWIND), anything else stays a string.
+//
+// With -wire host:port the query runs against a vsserve -wire-addr listener
+// over the framed binary streaming protocol instead of a local graph (-data
+// is not needed); rows print incrementally as the server streams them.
+// -json switches the output to one JSON array per row, for scripting.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	vertexsurge "repro"
+	"repro/client"
 	"repro/internal/engine"
 	"repro/internal/repl"
 	"repro/internal/telemetry"
@@ -90,11 +97,13 @@ func main() {
 		interactive = flag.Bool("i", false, "interactive shell (ignores -query/-file)")
 		statsOut    = flag.String("stats-out", "", "append per-operator est-vs-actual cardinality observations (JSONL) to this file")
 		traceOut    = flag.String("trace-out", "", "write the executed query's span tree as a Chrome trace-event JSON file (chrome://tracing)")
+		wireAddr    = flag.String("wire", "", "query a vsserve -wire-addr listener (host:port) over the binary streaming protocol instead of opening -data")
+		jsonOut     = flag.Bool("json", false, "with -wire: print one JSON array per row (no header or footer)")
 	)
 	flag.Var(params, "param", "query parameter name=value (repeatable)")
 	flag.Parse()
 
-	if *data == "" || (!*interactive && (*query == "") == (*file == "")) {
+	if (*data == "" && *wireAddr == "") || (!*interactive && (*query == "") == (*file == "")) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -105,6 +114,11 @@ func main() {
 			log.Fatal(err)
 		}
 		src = string(raw)
+	}
+
+	if *wireAddr != "" {
+		runWire(*wireAddr, src, params, *jsonOut, *timeout)
+		return
 	}
 
 	db, err := vertexsurge.Open(*data, vertexsurge.Options{Workers: *workers})
@@ -219,5 +233,52 @@ func main() {
 		tm := res.Timings
 		fmt.Printf("-- scan %s, expand %s, update-visit %s, intersect %s, aggregate %s\n",
 			tm.Scan, tm.Expand, tm.UpdateVisit, tm.Intersect, tm.Aggregate)
+	}
+}
+
+// runWire executes the query over the binary streaming protocol, printing
+// rows as they arrive — client memory holds one fetch batch at a time
+// however large the result.
+func runWire(addr, src string, params map[string]any, jsonOut bool, timeout time.Duration) {
+	c, err := client.Dial(addr, client.Options{DialTimeout: timeout, Client: "vsquery"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close() //vs:nolint(unchecked-err) read-side teardown on exit; query errors already surfaced
+	start := time.Now()
+	rows, err := c.Run(src, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := json.NewEncoder(os.Stdout)
+	if !jsonOut {
+		fmt.Println(strings.Join(rows.Columns(), "\t"))
+	}
+	var n int64
+	for {
+		row, err := rows.Next()
+		if err == client.ErrDone {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if jsonOut {
+			if err := out.Encode(row); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			for i, v := range row {
+				if i > 0 {
+					fmt.Print("\t")
+				}
+				fmt.Print(v)
+			}
+			fmt.Println()
+		}
+		n++
+	}
+	if !jsonOut {
+		fmt.Printf("-- %d row(s) in %s\n", n, time.Since(start).Round(time.Microsecond))
 	}
 }

@@ -9,6 +9,10 @@
 //
 // Operational flags:
 //
+//	-wire-addr :7688             framed binary streaming protocol listener (off by default);
+//	                             query with vsquery -wire or the repro/client package
+//	-fetch-batch 256             rows per streamed-cursor fetch batch (bounds per-cursor memory)
+//	-max-request-bytes 1048576   cap HTTP request bodies; larger bodies get a clear 400
 //	-debug-addr 127.0.0.1:6060   net/http/pprof endpoints (off by default)
 //	-slow-query 500ms            log the operator span tree of slower queries
 //	-access-log                  structured access log with request IDs (on by default)
@@ -44,8 +48,10 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/session"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -54,6 +60,9 @@ func main() {
 	var (
 		data         = flag.String("data", "", "graph directory written by vsgen (required)")
 		addr         = flag.String("addr", ":7474", "listen address")
+		wireAddr     = flag.String("wire-addr", "", "framed binary wire-protocol listen address (empty = off)")
+		fetchBatch   = flag.Int("fetch-batch", session.DefaultFetchBatch, "rows per streamed-cursor fetch batch")
+		maxReqBytes  = flag.Int64("max-request-bytes", server.DefaultMaxRequestBytes, "maximum HTTP request body bytes")
 		workers      = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 		debugAddr    = flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. 127.0.0.1:6060)")
 		slowQuery    = flag.Duration("slow-query", 0, "log the span tree of queries slower than this (0 = off)")
@@ -126,16 +135,32 @@ func main() {
 	ts.Start()
 	defer ts.Close()
 
-	srv := server.NewWithOptions(eng, server.Options{
-		Logger:       logger,
-		SlowQuery:    *slowQuery,
+	// One session service behind both transports: the HTTP handlers and
+	// the wire listener share query timeout, cursor batch size, and the
+	// engine accountant metering cursor buffers.
+	svc := session.NewService(eng, session.Options{
 		QueryTimeout: *queryTimeout,
-		TimeSeries:   ts,
-		Alerts:       watcher,
+		FetchBatch:   *fetchBatch,
+	})
+	srv := server.NewWithService(svc, server.Options{
+		Logger:          logger,
+		SlowQuery:       *slowQuery,
+		MaxRequestBytes: *maxReqBytes,
+		TimeSeries:      ts,
+		Alerts:          watcher,
 	})
 
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr)
+	}
+	if *wireAddr != "" {
+		wln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws := wire.NewServer(svc, wire.Options{Logger: logger})
+		fmt.Printf("wire protocol on %s\n", wln.Addr())
+		go func() { log.Fatal(ws.Serve(wln)) }()
 	}
 
 	// Listen before announcing so `-addr 127.0.0.1:0` prints the actual

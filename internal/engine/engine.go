@@ -417,12 +417,14 @@ func (e *Engine) MatchForEachOpts(ctx context.Context, pat *pattern.Pattern, opt
 	res.Plan = plan
 	res.Timings.Scan = time.Since(t0)
 
+	qi := telemetry.CurrentQuery(ctx)
 	n := len(pat.Vertices)
 	if n == 1 {
 		buf := make([]graph.VertexID, 1)
 		for _, v := range plan.CandList[0] {
 			buf[0] = v
 			fn(buf)
+			qi.AddRows(1)
 			res.Count++
 			if opts.Limit > 0 && res.Count >= opts.Limit {
 				break
@@ -462,19 +464,22 @@ func (e *Engine) MatchForEachOpts(ctx context.Context, pat *pattern.Pattern, opt
 	t1 := time.Now()
 	buf := make([]graph.VertexID, n)
 	var jr mintersect.Result
+	// Rows count live, per delivered tuple, so SHOW QUERIES and /debug/queries
+	// report a streaming query's progress while the client is still fetching
+	// (fn may block on transport backpressure between tuples).
 	err = mintersect.ForEachContext(ctx, in, mintersect.Options{Limit: opts.Limit}, func(tuple []graph.VertexID) {
 		for pos, v := range tuple {
 			buf[plan.Order[pos]] = v
 		}
 		fn(buf)
+		qi.AddRows(1)
 	}, &jr)
 	res.Timings.Intersect = time.Since(t1)
 	res.Count = jr.Count
 	res.Timings.Total = time.Since(start)
 	// The streaming join runs on this goroutine, outside the scheduler —
-	// attribute its busy time and produced tuples here.
+	// attribute its busy time here.
 	qc.Query().AddCPUNanos(int64(res.Timings.Intersect))
-	qc.Query().AddRows(jr.Count)
 	if err != nil {
 		return err
 	}

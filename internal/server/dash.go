@@ -82,10 +82,10 @@ func (s *Server) dashPayload(now time.Time) DashPayload {
 			p.HeapBytes = v
 		}
 	}
-	p.MemUsedBytes = s.eng.MemoryInUse()
-	p.MemLimitBytes = s.eng.MemoryLimit()
-	p.CacheEntries, p.CacheBytes = s.eng.CacheStats()
-	p.CacheLimitBytes = s.eng.CacheLimit()
+	p.MemUsedBytes = s.svc.Engine().MemoryInUse()
+	p.MemLimitBytes = s.svc.Engine().MemoryLimit()
+	p.CacheEntries, p.CacheBytes = s.svc.Engine().CacheStats()
+	p.CacheLimitBytes = s.svc.Engine().CacheLimit()
 	active, _ := telemetry.DefaultQueries.Snapshot()
 	sort.SliceStable(active, func(i, j int) bool {
 		return active[i].Cost.TotalBytes() > active[j].Cost.TotalBytes()

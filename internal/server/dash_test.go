@@ -21,7 +21,7 @@ import (
 func dashTestServer(t *testing.T, opts Options) *httptest.Server {
 	t.Helper()
 	srv, _ := testServer(t)
-	eng := srv.Config.Handler.(*Server).eng
+	eng := srv.Config.Handler.(*Server).svc.Engine()
 	wrapped := httptest.NewServer(NewWithOptions(eng, opts))
 	t.Cleanup(wrapped.Close)
 	return wrapped

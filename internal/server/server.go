@@ -6,6 +6,7 @@
 // Endpoints:
 //
 //	POST /query    {"query": "...", "params": {...}, "profile": bool, "trace": "chrome"}  → {"columns": [...], "rows": [...], "timings": {...}, "profile": {...}, "chrome_trace": {...}}
+//	POST /query    {"query": "...", "stream": true}   → NDJSON: a {"columns": [...]} line, one JSON array per row, a final {"summary": ...} or {"error": ...} line
 //	POST /explain  {"query": "...", "params": {...}}  → {"plan": "..."}
 //	POST /explain  {"query": "...", "analyze": true}  → {"plan": "...", "analysis": {"operators": [...], ...}}
 //	GET  /stats                                       → graph statistics
@@ -22,6 +23,13 @@
 // line carrying a request ID (also returned as X-Request-Id); queries
 // slower than Options.SlowQuery additionally log their full operator span
 // tree.
+//
+// The server is a transport front end: queries execute through a
+// session.Service (shared with the wire-protocol listener), never by
+// calling the cypher execution entry points directly. The classic JSON
+// response materializes through Service.Execute; {"stream": true} opens a
+// per-request session and drives a cursor batch-by-batch, so server-side
+// result memory stays bounded at one fetch batch however large the result.
 package server
 
 import (
@@ -37,6 +45,7 @@ import (
 
 	"repro/internal/cypher"
 	"repro/internal/engine"
+	"repro/internal/session"
 	"repro/internal/telemetry"
 )
 
@@ -58,7 +67,9 @@ type Options struct {
 	// observes the deadline cooperatively (expand steps, intersect
 	// enumeration, spill I/O all checkpoint), so an exceeded deadline
 	// returns 504 with the in-flight gauge restored. Client disconnects
-	// cancel the same way regardless of this setting.
+	// cancel the same way regardless of this setting. Only used when the
+	// server constructs its own session.Service — with NewWithService the
+	// service's own QueryTimeout governs.
 	QueryTimeout time.Duration
 	// TimeSeries, when non-nil, backs GET /debug/timeseries and the
 	// /debug/dash SSE stream. The server does not start or stop it — the
@@ -72,7 +83,7 @@ type Options struct {
 
 // Server is an http.Handler serving VLGPM queries over one graph.
 type Server struct {
-	eng   *engine.Engine
+	svc   *session.Service
 	mux   *http.ServeMux
 	opts  Options
 	reqID atomic.Uint64
@@ -82,15 +93,23 @@ type Server struct {
 func New(eng *engine.Engine) *Server { return NewWithOptions(eng, Options{}) }
 
 // NewWithOptions returns a server over eng with the given operational
-// options.
+// options, constructing a private session.Service carrying
+// opts.QueryTimeout.
 func NewWithOptions(eng *engine.Engine, opts Options) *Server {
+	return NewWithService(session.NewService(eng, session.Options{QueryTimeout: opts.QueryTimeout}), opts)
+}
+
+// NewWithService returns a server executing through svc — the constructor
+// vsserve uses so the HTTP and wire transports share one service (and so
+// one QueryTimeout, cursor batch size, and accountant).
+func NewWithService(svc *session.Service, opts Options) *Server {
 	if opts.MaxRequestBytes <= 0 {
 		opts.MaxRequestBytes = DefaultMaxRequestBytes
 	}
 	// Publish the Go runtime's health (goroutines, heap, GC) and the build
 	// identity next to the engine metrics; idempotent across servers.
 	telemetry.RegisterRuntimeMetrics()
-	s := &Server{eng: eng, mux: http.NewServeMux(), opts: opts}
+	s := &Server{svc: svc, mux: http.NewServeMux(), opts: opts}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /explain", s.handleExplain)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -216,6 +235,11 @@ type QueryRequest struct {
 	// supported value is "chrome": trace the query and attach the Trace
 	// Event Format document (chrome://tracing / Perfetto) as chrome_trace.
 	Trace string `json:"trace"`
+	// Stream requests an NDJSON streaming response: rows arrive
+	// incrementally, one JSON array per line, with server-side result
+	// memory bounded at one cursor batch. Incompatible with Profile,
+	// Analyze, and Trace — those need the complete execution.
+	Stream bool `json:"stream"`
 }
 
 // QueryResponse is the body of a successful POST /query.
@@ -305,7 +329,8 @@ func decodeRequest(r *http.Request) (*QueryRequest, error) {
 }
 
 // normalizeParams converts JSON's float64 numbers into the int64 values the
-// query layer expects, where they are integral.
+// query layer expects, where they are integral — recursively, so numbers
+// nested inside lists and objects normalize the same way as top-level ones.
 func normalizeParams(params map[string]any) map[string]any {
 	out := make(map[string]any, len(params))
 	for k, v := range params {
@@ -322,6 +347,8 @@ func normalizeValue(v any) any {
 		}
 		return x
 	case []any:
+		// A list of integral numbers becomes []int64 (the UNWIND shape);
+		// anything else normalizes element-wise.
 		ints := make([]int64, 0, len(x))
 		allInt := true
 		for _, e := range x {
@@ -335,7 +362,13 @@ func normalizeValue(v any) any {
 		if allInt && len(ints) == len(x) {
 			return ints
 		}
-		return x
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = normalizeValue(e)
+		}
+		return out
+	case map[string]any:
+		return normalizeParams(x)
 	default:
 		return v
 	}
@@ -359,20 +392,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if req.Stream {
+		if req.Profile || req.Analyze || req.Trace != "" || q.Profile {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"stream mode does not support profile, analyze, or trace"})
+			return
+		}
+		s.streamQuery(w, r, q, req)
+		return
+	}
+
 	// Trace when the client asked for a profile (JSON flag or PROFILE
 	// keyword), a chrome trace export, or when the slow-query log may need
 	// the span tree.
 	wantProfile := req.Profile || q.Profile
 	wantChrome := req.Trace == "chrome"
 	// r.Context() is canceled when the client disconnects, so an
-	// abandoned query stops consuming the engine; QueryTimeout adds a
-	// server-side deadline on top.
+	// abandoned query stops consuming the engine; the session service adds
+	// its QueryTimeout deadline on top.
 	ctx := r.Context()
-	if s.opts.QueryTimeout > 0 {
-		var cancel func()
-		ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
-		defer cancel()
-	}
 	var root *telemetry.Span
 	if wantProfile || wantChrome || s.opts.SlowQuery > 0 {
 		ctx, root = telemetry.NewTrace(ctx, "query")
@@ -381,7 +418,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		root.SetStr("request_id", telemetry.RequestIDFromContext(ctx))
 	}
 
-	res, err := cypher.RunContext(ctx, s.eng, q, req.Params)
+	res, err := s.svc.Execute(ctx, q, req.Params)
 	wall := time.Since(start)
 	root.End()
 	if err != nil {
@@ -420,6 +457,73 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.ChromeTrace = telemetry.ChromeTraceFromSnapshot(profile)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamHeader is an NDJSON response's first line.
+type streamHeader struct {
+	Columns []string `json:"columns"`
+	// Streaming is false when the query shape forced materialization
+	// (aggregates, ORDER BY, …) — rows still arrive as NDJSON, but the
+	// server held the full result while producing them.
+	Streaming bool `json:"streaming"`
+}
+
+// streamTrailer is an NDJSON response's last line: exactly one of Summary
+// (success) or Error is set. An error can surface here after rows were
+// delivered — the rows before it are a valid prefix of the result.
+type streamTrailer struct {
+	Summary *streamSummary `json:"summary,omitempty"`
+	Error   string         `json:"error,omitempty"`
+}
+
+type streamSummary struct {
+	Rows      int64 `json:"rows"`
+	Streaming bool  `json:"streaming"`
+}
+
+// streamQuery serves {"stream": true}: a per-request session, a cursor
+// driven batch-by-batch, rows flushed as NDJSON as each batch arrives. The
+// deferred session close covers every exit — client disconnect mid-stream
+// cancels the producer and releases the cursor's memory reservation.
+func (s *Server) streamQuery(w http.ResponseWriter, r *http.Request, q *cypher.Query, req *QueryRequest) {
+	sess := s.svc.OpenSession(r.RemoteAddr)
+	defer sess.Close()
+	cur, err := sess.RunParsed(r.Context(), q, req.Params)
+	if err != nil {
+		writeJSON(w, queryErrorStatus(err), errorResponse{err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	if err := enc.Encode(streamHeader{Columns: cur.Columns(), Streaming: cur.Streaming()}); err != nil {
+		return
+	}
+	var total int64
+	for {
+		rows, more, ferr := cur.Fetch(0)
+		for _, row := range rows {
+			if err := enc.Encode(row); err != nil {
+				return // client gone; session close reaps the cursor
+			}
+			total++
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		switch {
+		case ferr != nil:
+			// A streamable query's execution errors surface on Fetch (the
+			// RUN/FETCH split); the 200 is already out, so the error rides
+			// the trailer line.
+			_ = enc.Encode(streamTrailer{Error: ferr.Error()})
+			return
+		case !more:
+			_ = enc.Encode(streamTrailer{Summary: &streamSummary{Rows: total, Streaming: cur.Streaming()}})
+			return
+		}
+	}
 }
 
 // DebugQueriesResponse is GET /debug/queries' body: the queries running
@@ -465,7 +569,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
-	plan, err := cypher.ExplainQuery(s.eng, q, req.Params)
+	plan, err := s.svc.Explain(q, req.Params)
 	if err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{err.Error()})
 		return
@@ -475,13 +579,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	// executes the query with tracing forced on and attaches the
 	// estimate-vs-actual operator table as structured JSON.
 	if req.Analyze || q.Analyze {
-		ctx := r.Context()
-		if s.opts.QueryTimeout > 0 {
-			var cancel func()
-			ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
-			defer cancel()
-		}
-		a, err := cypher.AnalyzeQuery(ctx, s.eng, q, req.Params)
+		a, err := s.svc.Analyze(r.Context(), q, req.Params)
 		if err != nil {
 			writeJSON(w, queryErrorStatus(err), errorResponse{err.Error()})
 			return
@@ -517,7 +615,7 @@ type StatsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	g := s.eng.Graph()
+	g := s.svc.Engine().Graph()
 	resp := StatsResponse{
 		NumVertices:  g.NumVertices(),
 		NumEdges:     g.NumEdges(),

@@ -180,18 +180,28 @@ func TestStatsAndHealth(t *testing.T) {
 
 func TestNormalizeValue(t *testing.T) {
 	cases := []struct {
+		name     string
 		in, want any
 	}{
-		{42.0, int64(42)},
-		{1.5, 1.5},
-		{"x", "x"},
-		{[]any{1.0, 2.0}, []int64{1, 2}},
-		{[]any{1.0, "a"}, []any{1.0, "a"}},
-		{[]any{1.5}, []any{1.5}},
+		{"integral float", 42.0, int64(42)},
+		{"fractional float", 1.5, 1.5},
+		{"string", "x", "x"},
+		{"int list", []any{1.0, 2.0}, []int64{1, 2}},
+		{"mixed list normalizes elements", []any{1.0, "a"}, []any{int64(1), "a"}},
+		{"fractional list", []any{1.5}, []any{1.5}},
+		{"nested list", []any{[]any{1.0, 2.0}, "a"}, []any{[]int64{1, 2}, "a"}},
+		{"object", map[string]any{"n": 3.0, "s": "x"}, map[string]any{"n": int64(3), "s": "x"}},
+		{"object in list", []any{map[string]any{"n": 3.0}}, []any{map[string]any{"n": int64(3)}}},
+		{"list in object", map[string]any{"ids": []any{7.0, 8.0}}, map[string]any{"ids": []int64{7, 8}}},
+		{"deep nesting", map[string]any{"a": map[string]any{"b": []any{[]any{9.0}}}},
+			map[string]any{"a": map[string]any{"b": []any{[]int64{9}}}}},
+		{"bool and null survive", []any{true, nil, 0.5}, []any{true, nil, 0.5}},
 	}
 	for _, c := range cases {
-		if got := normalizeValue(c.in); !reflect.DeepEqual(got, c.want) {
-			t.Errorf("normalizeValue(%#v) = %#v, want %#v", c.in, got, c.want)
-		}
+		t.Run(c.name, func(t *testing.T) {
+			if got := normalizeValue(c.in); !reflect.DeepEqual(got, c.want) {
+				t.Errorf("normalizeValue(%#v) = %#v, want %#v", c.in, got, c.want)
+			}
+		})
 	}
 }

@@ -1,0 +1,335 @@
+// Package session is the transport-agnostic query service between
+// vsserve's front ends and the engine. Both transports — the HTTP/JSON
+// handlers in internal/server and the framed binary protocol in
+// internal/wire — speak to this one API; neither calls the cypher
+// execution entry points directly, so every later scale feature
+// (admission control, sharding RPC, multi-query batching) plugs in here
+// once and serves all transports.
+//
+// The model is Bolt-shaped: a Session is one client's conversation
+// (sessions are cheap — the HTTP transport opens one per streamed request,
+// the wire transport one per connection), Session.Run starts a query and
+// returns a Cursor, and the client drives the result with Fetch(n) /
+// Discard. Streamable queries (see cypher.Streamable) execute through
+// cypher.Stream feeding a bounded row buffer — server-side result memory
+// is capped at one fetch batch regardless of result cardinality, with
+// backpressure propagating into the engine's cooperative poll points when
+// the client fetches slower than the join produces. Everything else
+// (aggregates, ORDER BY, UNWIND, EXPLAIN variants) materializes through
+// cypher.RunContext and serves the rows through the same Cursor interface,
+// so transports never branch on query shape.
+//
+// Cursor buffers and materialized results are metered through the engine's
+// shared Accountant: a streamed cursor reserves one batch's worth of row
+// bytes for its lifetime, a materialized cursor its full row footprint, and
+// both release on exhaustion, discard, client disconnect, or session close.
+// Queries register with telemetry.DefaultQueries inside the cypher layer,
+// so SHOW QUERIES, /debug/queries, and vstop see streamed queries with
+// live row counts and can KILL them mid-stream.
+package session
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cypher"
+	"repro/internal/engine"
+)
+
+// DefaultFetchBatch is the cursor buffer capacity and default FETCH batch
+// size: 256 rows keeps a streamed result's server-side footprint in the
+// tens of kilobytes while amortizing per-batch transport overhead.
+const DefaultFetchBatch = 256
+
+// Options configures a Service.
+type Options struct {
+	// QueryTimeout, when > 0, bounds every query's execution — for a
+	// streamed query the deadline covers the whole stream lifetime,
+	// producer and fetch phases included.
+	QueryTimeout time.Duration
+	// FetchBatch is the streamed-cursor buffer capacity and the batch size
+	// Fetch uses when the caller passes max <= 0. 0 = DefaultFetchBatch.
+	FetchBatch int
+}
+
+// Service executes queries against one engine on behalf of any transport.
+type Service struct {
+	eng  *engine.Engine
+	opts Options
+
+	mu       sync.Mutex
+	sessions map[uint64]*Session
+	nextSess uint64
+	nextCur  uint64
+}
+
+// NewService returns a service over eng.
+func NewService(eng *engine.Engine, opts Options) *Service {
+	if opts.FetchBatch <= 0 {
+		opts.FetchBatch = DefaultFetchBatch
+	}
+	return &Service{eng: eng, opts: opts, sessions: make(map[uint64]*Session)}
+}
+
+// Engine returns the service's engine (transports need it for /stats).
+func (s *Service) Engine() *engine.Engine { return s.eng }
+
+// FetchBatch returns the configured cursor batch size.
+func (s *Service) FetchBatch() int { return s.opts.FetchBatch }
+
+// SessionCount reports the open sessions (introspection and tests).
+func (s *Service) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// queryContext derives the execution context: cancelable, with the
+// service-wide query deadline applied when configured.
+func (s *Service) queryContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.opts.QueryTimeout > 0 {
+		return context.WithTimeout(ctx, s.opts.QueryTimeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// Execute runs a parsed query to completion and returns the materialized
+// result — the classic request/response path. The query registers with the
+// telemetry registry and honors the service's QueryTimeout.
+func (s *Service) Execute(ctx context.Context, q *cypher.Query, params map[string]any) (*cypher.Result, error) {
+	ctx, cancel := s.queryContext(ctx)
+	defer cancel()
+	return cypher.RunContext(ctx, s.eng, q, params)
+}
+
+// Explain renders the query's plan without executing.
+func (s *Service) Explain(q *cypher.Query, params map[string]any) (string, error) {
+	return cypher.ExplainQuery(s.eng, q, params)
+}
+
+// Analyze executes the query with tracing forced on and returns the
+// estimate-vs-actual operator table, honoring QueryTimeout.
+func (s *Service) Analyze(ctx context.Context, q *cypher.Query, params map[string]any) (*engine.Analysis, error) {
+	ctx, cancel := s.queryContext(ctx)
+	defer cancel()
+	return cypher.AnalyzeQuery(ctx, s.eng, q, params)
+}
+
+// OpenSession starts a session for one client (a wire connection, one
+// streamed HTTP request). The caller must Close it — Close discards every
+// open cursor and releases their memory reservations.
+func (s *Service) OpenSession(client string) *Session {
+	s.mu.Lock()
+	s.nextSess++
+	sess := &Session{
+		id:      s.nextSess,
+		svc:     s,
+		client:  client,
+		created: time.Now(),
+		cursors: make(map[uint64]*Cursor),
+	}
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+	return sess
+}
+
+func (s *Service) dropSession(sess *Session) {
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+}
+
+func (s *Service) cursorID() uint64 {
+	s.mu.Lock()
+	s.nextCur++
+	id := s.nextCur
+	s.mu.Unlock()
+	return id
+}
+
+// Session is one client's conversation with the service: a set of open
+// cursors sharing the client's lifetime.
+type Session struct {
+	id      uint64
+	svc     *Service
+	client  string
+	created time.Time
+
+	mu       sync.Mutex
+	cursors  map[uint64]*Cursor
+	closed   bool
+	reserved int64 // accountant bytes currently held by this session's cursors
+}
+
+// ID returns the service-assigned session id.
+func (s *Session) ID() uint64 { return s.id }
+
+// Client returns the client tag given at open (remote address, typically).
+func (s *Session) Client() string { return s.client }
+
+// Reserved reports the accountant bytes this session's cursors hold.
+func (s *Session) Reserved() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reserved
+}
+
+// Cursors reports the session's open cursor count.
+func (s *Session) Cursors() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cursors)
+}
+
+// Run parses and starts a query, returning the cursor over its result.
+func (s *Session) Run(ctx context.Context, query string, params map[string]any) (*Cursor, error) {
+	q, err := cypher.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunParsed(ctx, q, params)
+}
+
+// RunParsed starts an already-parsed query. Streamable queries return
+// immediately with a producing cursor (execution errors surface on the
+// first Fetch, like a Bolt RUN/PULL split); everything else materializes
+// first, so errors surface here.
+func (s *Session) RunParsed(ctx context.Context, q *cypher.Query, params map[string]any) (*Cursor, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("session: session %d is closed", s.id)
+	}
+	s.mu.Unlock()
+
+	if cypher.Streamable(q) {
+		return s.runStream(ctx, q, params)
+	}
+
+	res, err := s.svc.Execute(ctx, q, params)
+	if err != nil {
+		return nil, err
+	}
+	reserve := rowBytes(len(res.Columns)) * int64(len(res.Rows))
+	if err := s.reserve(reserve); err != nil {
+		return nil, err
+	}
+	cur := &Cursor{
+		id:   s.svc.cursorID(),
+		sess: s,
+		cols: res.Columns,
+		res:  res,
+		rows: res.Rows,
+	}
+	cur.reserved = reserve
+	if err := s.addCursor(cur); err != nil {
+		s.releaseBytes(reserve)
+		return nil, err
+	}
+	return cur, nil
+}
+
+// runStream starts a streamable query: a bounded buffer of FetchBatch rows
+// sits between the engine's streaming join and the client's Fetch calls.
+// The buffer's bytes (plus the one in-flight row the producer holds) are
+// reserved against the engine accountant for the cursor's lifetime — the
+// reservation is constant in the result cardinality.
+func (s *Session) runStream(ctx context.Context, q *cypher.Query, params map[string]any) (*Cursor, error) {
+	batch := s.svc.opts.FetchBatch
+	cols := cypher.Columns(q)
+	reserve := rowBytes(len(cols)) * int64(batch+1)
+	if err := s.reserve(reserve); err != nil {
+		return nil, err
+	}
+	cctx, cancel := s.svc.queryContext(ctx)
+	cur := &Cursor{
+		id:        s.svc.cursorID(),
+		sess:      s,
+		cols:      cols,
+		streaming: true,
+		ch:        make(chan []any, batch),
+		done:      make(chan struct{}),
+		cancel:    cancel,
+	}
+	cur.reserved = reserve
+	if err := s.addCursor(cur); err != nil {
+		cancel()
+		s.releaseBytes(reserve)
+		return nil, err
+	}
+	go cur.produce(cctx, s.svc.eng, q, params)
+	return cur, nil
+}
+
+// reserve claims bytes for a cursor against the engine accountant,
+// accumulating the session's total.
+func (s *Session) reserve(n int64) error {
+	if err := s.svc.eng.Accountant().Reserve(n); err != nil {
+		return fmt.Errorf("session: result buffer: %w", err)
+	}
+	s.mu.Lock()
+	s.reserved += n
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Session) releaseBytes(n int64) {
+	s.svc.eng.Accountant().Release(n)
+	s.mu.Lock()
+	s.reserved -= n
+	s.mu.Unlock()
+}
+
+func (s *Session) addCursor(c *Cursor) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("session: session %d is closed", s.id)
+	}
+	s.cursors[c.id] = c
+	return nil
+}
+
+// Cursor returns the session's open cursor with the given id, or nil.
+func (s *Session) Cursor(id uint64) *Cursor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cursors[id]
+}
+
+func (s *Session) dropCursor(c *Cursor) {
+	s.mu.Lock()
+	if s.cursors != nil {
+		delete(s.cursors, c.id)
+	}
+	s.mu.Unlock()
+}
+
+// Close discards every open cursor (canceling their producers and
+// releasing their memory reservations) and removes the session from the
+// service. Idempotent.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	curs := make([]*Cursor, 0, len(s.cursors))
+	for _, c := range s.cursors {
+		curs = append(curs, c)
+	}
+	s.mu.Unlock()
+	for _, c := range curs {
+		c.Discard()
+	}
+	s.svc.dropSession(s)
+}
+
+// rowBytes estimates the retained footprint of one buffered row: a slice
+// header plus one interface value per column. The estimate is what the
+// accountant meters — deliberately simple, stable across value types, and
+// proportional to the only dimension the session controls (rows buffered).
+func rowBytes(cols int) int64 { return 24 + 24*int64(cols) }

@@ -1,0 +1,388 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cypher"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/telemetry"
+)
+
+// testService builds a service over a deterministic social graph: 200
+// vertices, 700 undirected knows edges → well over a thousand single-hop
+// rows, several times DefaultFetchBatch.
+func testService(t testing.TB, opts Options) *Service {
+	t.Helper()
+	g, err := datagen.SocialNetwork(datagen.SocialConfig{
+		NumVertices: 200, NumEdges: 700, Seed: 8, CommunityFraction: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewService(engine.New(g, engine.Options{}), opts)
+}
+
+// streamQuery is streamable (plain projection, no aggregate) and returns
+// every directed knows pair — cardinality ≫ one fetch batch. Both endpoints
+// appear bare in the projection, so the stream needs no dedup state.
+const streamQuery = `MATCH (p:Person)-[:knows]-(q:Person) RETURN p, q`
+
+// drain fetches a cursor to exhaustion, returning all rows.
+func drain(t *testing.T, cur *Cursor) [][]any {
+	t.Helper()
+	var all [][]any
+	for {
+		rows, more, err := cur.Fetch(0)
+		all = append(all, rows...)
+		if err != nil {
+			t.Fatalf("Fetch: %v", err)
+		}
+		if !more {
+			return all
+		}
+	}
+}
+
+func sortRows(rows [][]any) {
+	sort.Slice(rows, func(i, j int) bool {
+		return fmt.Sprint(rows[i]) < fmt.Sprint(rows[j])
+	})
+}
+
+// TestStreamMatchesMaterialized proves the streamed rows are exactly the
+// materialized path's rows (order aside — the materialized join is
+// parallel, the stream serial).
+func TestStreamMatchesMaterialized(t *testing.T) {
+	svc := testService(t, Options{})
+	q, err := cypher.Parse(streamQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := svc.Execute(context.Background(), q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := svc.OpenSession("test")
+	defer sess.Close()
+	cur, err := sess.Run(context.Background(), streamQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Streaming() {
+		t.Fatalf("query %q should stream", streamQuery)
+	}
+	got := drain(t, cur)
+
+	if len(got) <= svc.FetchBatch() {
+		t.Fatalf("test needs cardinality > one batch, got %d rows <= batch %d", len(got), svc.FetchBatch())
+	}
+	if !reflect.DeepEqual(cur.Columns(), want.Columns) {
+		t.Fatalf("columns = %v, want %v", cur.Columns(), want.Columns)
+	}
+	wantRows := append([][]any(nil), want.Rows...)
+	sortRows(wantRows)
+	sortRows(got)
+	if !reflect.DeepEqual(got, wantRows) {
+		t.Fatalf("streamed rows differ from materialized: %d vs %d rows", len(got), len(wantRows))
+	}
+}
+
+// TestStreamingReservationConstant is the bounded-memory proof: the
+// accountant bytes held while streaming a large result equal the one-batch
+// reservation — a constant in the fetch batch size, not the cardinality —
+// and return to baseline when the stream ends.
+func TestStreamingReservationConstant(t *testing.T) {
+	for _, batch := range []int{16, 256} {
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			svc := testService(t, Options{FetchBatch: batch})
+			acct := svc.Engine().Accountant()
+			base := acct.InUse()
+
+			sess := svc.OpenSession("test")
+			defer sess.Close()
+			cur, err := sess.Run(context.Background(), streamQuery, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantReserve := rowBytes(len(cur.Columns())) * int64(batch+1)
+
+			var total int
+			for {
+				rows, more, err := cur.Fetch(0)
+				if err != nil {
+					t.Fatalf("Fetch: %v", err)
+				}
+				total += len(rows)
+				if len(rows) > batch {
+					t.Fatalf("fetch returned %d rows > batch %d", len(rows), batch)
+				}
+				// Mid-stream, the session's held bytes are exactly the
+				// one-batch reservation regardless of how many rows have
+				// passed through.
+				if more {
+					if got := sess.Reserved(); got != wantReserve {
+						t.Fatalf("after %d rows: reserved %d bytes, want constant %d", total, got, wantReserve)
+					}
+					if got := acct.InUse() - base; got < wantReserve {
+						t.Fatalf("accountant in-use delta %d < reservation %d", got, wantReserve)
+					}
+				} else {
+					break
+				}
+			}
+			if total <= batch {
+				t.Fatalf("result must exceed one batch for this proof, got %d rows", total)
+			}
+			if got := sess.Reserved(); got != 0 {
+				t.Fatalf("reservation not released at exhaustion: %d bytes", got)
+			}
+			if got := acct.InUse(); got != base {
+				t.Fatalf("accountant in-use %d, want baseline %d", got, base)
+			}
+		})
+	}
+}
+
+// TestMaterializedCursorPaging pages an aggregate (non-streamable) result
+// through the same cursor interface.
+func TestMaterializedCursorPaging(t *testing.T) {
+	svc := testService(t, Options{FetchBatch: 4})
+	sess := svc.OpenSession("test")
+	defer sess.Close()
+
+	// Six real vertex ids (edge endpoints, so every pid matches something).
+	g := svc.Engine().Graph()
+	ids := g.Prop("id").(graph.Int64Column)
+	knows := g.Edges("knows")
+	pids := make([]int64, 0, 6)
+	seen := map[int64]bool{}
+	for e := 0; len(pids) < 6; e++ {
+		a, b := knows.Edge(e)
+		for _, v := range []graph.VertexID{a, b} {
+			if id := ids[v]; len(pids) < 6 && !seen[id] {
+				seen[id] = true
+				pids = append(pids, id)
+			}
+		}
+	}
+
+	const agg = `UNWIND $ids AS pid MATCH (p:Person {id:pid})-[:knows]-(q:Person) RETURN pid, COUNT(q)`
+	cur, err := sess.Run(context.Background(), agg, map[string]any{"ids": pids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Streaming() {
+		t.Fatal("aggregate should not stream")
+	}
+	if sess.Reserved() == 0 {
+		t.Fatal("materialized cursor should hold a reservation")
+	}
+	rows, more, err := cur.Fetch(4)
+	if err != nil || len(rows) != 4 || !more {
+		t.Fatalf("first page = %d rows, more=%v, err=%v; want 4, true, nil", len(rows), more, err)
+	}
+	rows, more, err = cur.Fetch(4)
+	if err != nil || len(rows) != 2 || more {
+		t.Fatalf("second page = %d rows, more=%v, err=%v; want 2, false, nil", len(rows), more, err)
+	}
+	if sess.Reserved() != 0 {
+		t.Fatalf("reservation not released at exhaustion: %d bytes", sess.Reserved())
+	}
+	if _, _, err := cur.Fetch(1); !errors.Is(err, ErrCursorClosed) {
+		t.Fatalf("fetch after exhaustion: err=%v, want ErrCursorClosed", err)
+	}
+}
+
+// TestFetchAfterDiscard: DISCARD cancels the producer, releases the
+// reservation, and poisons the cursor.
+func TestFetchAfterDiscard(t *testing.T) {
+	svc := testService(t, Options{FetchBatch: 8})
+	sess := svc.OpenSession("test")
+	defer sess.Close()
+
+	cur, err := sess.Run(context.Background(), streamQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cur.Fetch(3); err != nil {
+		t.Fatal(err)
+	}
+	cur.Discard()
+	cur.Discard() // idempotent
+	if _, _, err := cur.Fetch(1); !errors.Is(err, ErrCursorClosed) {
+		t.Fatalf("fetch after discard: err=%v, want ErrCursorClosed", err)
+	}
+	if got := sess.Reserved(); got != 0 {
+		t.Fatalf("discard left %d bytes reserved", got)
+	}
+	if got := sess.Cursors(); got != 0 {
+		t.Fatalf("discard left %d cursors open", got)
+	}
+}
+
+// TestSessionCloseMidStream is the client-disconnect path: closing the
+// session with a cursor mid-stream cancels the producer and returns the
+// accountant to baseline.
+func TestSessionCloseMidStream(t *testing.T) {
+	svc := testService(t, Options{FetchBatch: 8})
+	acct := svc.Engine().Accountant()
+	base := acct.InUse()
+
+	sess := svc.OpenSession("test")
+	cur, err := sess.Run(context.Background(), streamQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cur.Fetch(8); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+	sess.Close() // idempotent
+
+	// The producer unwinds cooperatively; wait for the engine to release
+	// its own working memory too.
+	deadline := time.After(5 * time.Second)
+	for acct.InUse() != base {
+		select {
+		case <-deadline:
+			t.Fatalf("accountant in-use %d did not return to baseline %d", acct.InUse(), base)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if svc.SessionCount() != 0 {
+		t.Fatalf("session count = %d after close", svc.SessionCount())
+	}
+	if _, err := sess.Run(context.Background(), streamQuery, nil); err == nil {
+		t.Fatal("Run on a closed session should fail")
+	}
+}
+
+// TestKillStreamingQuery kills a mid-stream query through the telemetry
+// registry — the path /debug/queries DELETE and vstop use — and expects the
+// stream to end with context.Canceled.
+func TestKillStreamingQuery(t *testing.T) {
+	svc := testService(t, Options{FetchBatch: 1})
+	sess := svc.OpenSession("test")
+	defer sess.Close()
+
+	// Distinct variable names make the registry entry unambiguous — other
+	// tests stream the same pattern, and a just-canceled run of theirs can
+	// still be unwinding in the active snapshot.
+	const killQuery = `MATCH (ka:Person)-[:knows]-(kb:Person) RETURN ka, kb`
+	cur, err := sess.Run(context.Background(), killQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One fetched row proves the query is registered and producing.
+	if _, _, err := cur.Fetch(1); err != nil {
+		t.Fatal(err)
+	}
+	active, _ := telemetry.DefaultQueries.Snapshot()
+	var killed bool
+	for _, qs := range active {
+		if qs.Query == killQuery && telemetry.DefaultQueries.Kill(qs.ID) {
+			killed = true
+			break
+		}
+	}
+	if !killed {
+		t.Fatalf("streamed query not visible in registry: %+v", active)
+	}
+	// The tiny buffer (1 row) cannot absorb the rest of the result, so the
+	// stream must surface the kill within a few fetches.
+	for i := 0; i < 4; i++ {
+		_, more, err := cur.Fetch(1)
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("killed stream ended with %v, want context.Canceled", err)
+			}
+			return
+		}
+		if !more {
+			t.Fatal("killed stream reported clean exhaustion")
+		}
+	}
+	t.Fatal("kill did not surface within 4 fetches")
+}
+
+// TestConcurrentSessions exercises the cursor registry under -race: many
+// sessions streaming, discarding, and closing concurrently.
+func TestConcurrentSessions(t *testing.T) {
+	svc := testService(t, Options{FetchBatch: 16})
+	acct := svc.Engine().Accountant()
+	base := acct.InUse()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sess := svc.OpenSession(fmt.Sprintf("worker-%d", i))
+			defer sess.Close()
+			cur, err := sess.Run(context.Background(), streamQuery, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			switch i % 3 {
+			case 0: // drain fully
+				for {
+					_, more, err := cur.Fetch(0)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if !more {
+						return
+					}
+				}
+			case 1: // fetch a little, then discard
+				if _, _, err := cur.Fetch(5); err != nil {
+					t.Error(err)
+				}
+				cur.Discard()
+			default: // abandon mid-stream; the deferred Close reaps
+				_, _, _ = cur.Fetch(3)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	deadline := time.After(5 * time.Second)
+	for acct.InUse() != base {
+		select {
+		case <-deadline:
+			t.Fatalf("accountant in-use %d did not return to baseline %d", acct.InUse(), base)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if svc.SessionCount() != 0 {
+		t.Fatalf("session count = %d after all closes", svc.SessionCount())
+	}
+}
+
+// TestStreamLimit: LIMIT stops the stream early with a clean completion.
+func TestStreamLimit(t *testing.T) {
+	svc := testService(t, Options{FetchBatch: 8})
+	sess := svc.OpenSession("test")
+	defer sess.Close()
+
+	cur, err := sess.Run(context.Background(), streamQuery+` LIMIT 10`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, cur)
+	if len(rows) != 10 {
+		t.Fatalf("LIMIT 10 streamed %d rows", len(rows))
+	}
+}

@@ -1,0 +1,397 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Value encoding: one tag byte, then a payload. Small non-negative
+// integers — the overwhelmingly common case, VertexID tuples — pack into
+// the tag byte itself (PackStream's "tiny int" idea), everything else uses
+// a zigzag varint, so a RECORD of graph ids costs 1–3 bytes per value.
+const (
+	// Tags 0x00..0x7F are the value itself: a tiny int in [0, 127].
+	tinyIntMax = 0x7F
+
+	tagNull   = 0xC0
+	tagFalse  = 0xC2
+	tagTrue   = 0xC3
+	tagInt    = 0xC8 // zigzag varint
+	tagFloat  = 0xC9 // 8 bytes big-endian IEEE 754
+	tagString = 0xCA // varint byte length, then bytes
+	tagList   = 0xCB // varint count, then values
+	tagMap    = 0xCC // varint count, then (string key, value) pairs
+)
+
+// maxDepth bounds nesting during decode so hostile frames cannot recurse
+// the stack away.
+const maxDepth = 32
+
+// ErrBadValue wraps every decode failure.
+var ErrBadValue = errors.New("wire: malformed value")
+
+// maxVarintLen is the longest encoding of a uint64 (10 bytes).
+const maxVarintLen = 10
+
+// putUvarint writes v into buf[off:] — the caller guarantees at least
+// maxVarintLen free bytes — and returns the offset past the encoding.
+//
+//vs:hotpath
+func putUvarint(buf []byte, off int, v uint64) int {
+	for v >= 0x80 && off < len(buf) {
+		buf[off] = byte(v) | 0x80
+		v >>= 7
+		off++
+	}
+	if off < len(buf) {
+		buf[off] = byte(v)
+		off++
+	}
+	return off
+}
+
+// getUvarint reads a varint from buf[off:], returning the value and the
+// offset past it (-1 on truncated or oversized input).
+//
+//vs:hotpath
+func getUvarint(buf []byte, off int) (uint64, int) {
+	var v uint64
+	var shift uint
+	for off < len(buf) {
+		b := buf[off]
+		off++
+		if shift >= 63 && b > 1 {
+			return 0, -1 // would overflow uint64
+		}
+		v |= uint64(b&0x7F) << shift
+		if b < 0x80 {
+			return v, off
+		}
+		shift += 7
+	}
+	return 0, -1
+}
+
+// zigzag maps signed to unsigned so small-magnitude negatives stay short.
+//
+//vs:hotpath
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+//
+//vs:hotpath
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// putInt encodes one int64 into buf[off:] (tiny-int fast path, else
+// tag + zigzag varint); the caller guarantees 1+maxVarintLen free bytes.
+// This is the RECORD encoder's inner loop.
+//
+//vs:hotpath
+func putInt(buf []byte, off int, v int64) int {
+	if v >= 0 && v <= tinyIntMax && off < len(buf) {
+		buf[off] = byte(v)
+		return off + 1
+	}
+	if off < len(buf) {
+		buf[off] = tagInt
+		off++
+	}
+	return putUvarint(buf, off, zigzag(v))
+}
+
+// getInt decodes one integer value from buf[off:] (tiny or tagged),
+// returning -1 on anything else. This is the RECORD decoder's inner loop.
+//
+//vs:hotpath
+func getInt(buf []byte, off int) (int64, int) {
+	if off >= len(buf) {
+		return 0, -1
+	}
+	b := buf[off]
+	if b <= tinyIntMax {
+		return int64(b), off + 1
+	}
+	if b != tagInt {
+		return 0, -1
+	}
+	u, next := getUvarint(buf, off+1)
+	if next < 0 {
+		return 0, -1
+	}
+	return unzigzag(u), next
+}
+
+// appendUvarint is the append-growing counterpart of putUvarint, for the
+// cold generic encoder.
+func appendUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// appendInt appends one integer value.
+func appendInt(buf []byte, v int64) []byte {
+	if v >= 0 && v <= tinyIntMax {
+		return append(buf, byte(v))
+	}
+	buf = append(buf, tagInt)
+	return appendUvarint(buf, zigzag(v))
+}
+
+// appendValue appends one value of any supported type. Map keys encode in
+// sorted order so encodings are deterministic.
+func appendValue(buf []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, tagNull), nil
+	case bool:
+		if x {
+			return append(buf, tagTrue), nil
+		}
+		return append(buf, tagFalse), nil
+	case int64:
+		return appendInt(buf, x), nil
+	case int:
+		return appendInt(buf, int64(x)), nil
+	case float64:
+		buf = append(buf, tagFloat)
+		bits := math.Float64bits(x)
+		return append(buf,
+			byte(bits>>56), byte(bits>>48), byte(bits>>40), byte(bits>>32),
+			byte(bits>>24), byte(bits>>16), byte(bits>>8), byte(bits)), nil
+	case string:
+		buf = append(buf, tagString)
+		buf = appendUvarint(buf, uint64(len(x)))
+		return append(buf, x...), nil
+	case []any:
+		buf = append(buf, tagList)
+		buf = appendUvarint(buf, uint64(len(x)))
+		var err error
+		for _, e := range x {
+			if buf, err = appendValue(buf, e); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	case []int64:
+		buf = append(buf, tagList)
+		buf = appendUvarint(buf, uint64(len(x)))
+		for _, e := range x {
+			buf = appendInt(buf, e)
+		}
+		return buf, nil
+	case []string:
+		buf = append(buf, tagList)
+		buf = appendUvarint(buf, uint64(len(x)))
+		var err error
+		for _, e := range x {
+			if buf, err = appendValue(buf, e); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	case map[string]any:
+		buf = append(buf, tagMap)
+		buf = appendUvarint(buf, uint64(len(x)))
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var err error
+		for _, k := range keys {
+			buf = append(buf, tagString)
+			buf = appendUvarint(buf, uint64(len(k)))
+			buf = append(buf, k...)
+			if buf, err = appendValue(buf, x[k]); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("wire: unsupported value type %T", v)
+	}
+}
+
+// readValue decodes one value from buf[off:], returning the value and the
+// offset past it.
+func readValue(buf []byte, off int) (any, int, error) {
+	return readValueDepth(buf, off, 0)
+}
+
+func readValueDepth(buf []byte, off, depth int) (any, int, error) {
+	if depth > maxDepth {
+		return nil, 0, fmt.Errorf("%w: nesting deeper than %d", ErrBadValue, maxDepth)
+	}
+	if off >= len(buf) {
+		return nil, 0, fmt.Errorf("%w: truncated", ErrBadValue)
+	}
+	tag := buf[off]
+	if tag <= tinyIntMax {
+		return int64(tag), off + 1, nil
+	}
+	off++
+	switch tag {
+	case tagNull:
+		return nil, off, nil
+	case tagFalse:
+		return false, off, nil
+	case tagTrue:
+		return true, off, nil
+	case tagInt:
+		u, next := getUvarint(buf, off)
+		if next < 0 {
+			return nil, 0, fmt.Errorf("%w: bad int varint", ErrBadValue)
+		}
+		return unzigzag(u), next, nil
+	case tagFloat:
+		if off+8 > len(buf) {
+			return nil, 0, fmt.Errorf("%w: truncated float", ErrBadValue)
+		}
+		bits := uint64(buf[off])<<56 | uint64(buf[off+1])<<48 | uint64(buf[off+2])<<40 |
+			uint64(buf[off+3])<<32 | uint64(buf[off+4])<<24 | uint64(buf[off+5])<<16 |
+			uint64(buf[off+6])<<8 | uint64(buf[off+7])
+		return math.Float64frombits(bits), off + 8, nil
+	case tagString:
+		s, next, err := readString(buf, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		return s, next, nil
+	case tagList:
+		n, next := getUvarint(buf, off)
+		if next < 0 || n > uint64(len(buf)-next) {
+			// Each element costs ≥ 1 byte, so a count beyond the remaining
+			// bytes is malformed — reject before allocating for it.
+			return nil, 0, fmt.Errorf("%w: bad list count", ErrBadValue)
+		}
+		out := make([]any, 0, n)
+		off = next
+		for i := uint64(0); i < n; i++ {
+			var e any
+			var err error
+			e, off, err = readValueDepth(buf, off, depth+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			out = append(out, e)
+		}
+		return out, off, nil
+	case tagMap:
+		n, next := getUvarint(buf, off)
+		if next < 0 || n > uint64(len(buf)-next)/2 {
+			return nil, 0, fmt.Errorf("%w: bad map count", ErrBadValue)
+		}
+		out := make(map[string]any, n)
+		off = next
+		for i := uint64(0); i < n; i++ {
+			if off >= len(buf) || buf[off] != tagString {
+				return nil, 0, fmt.Errorf("%w: map key is not a string", ErrBadValue)
+			}
+			var k string
+			var err error
+			k, off, err = readString(buf, off+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			var v any
+			v, off, err = readValueDepth(buf, off, depth+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			out[k] = v
+		}
+		return out, off, nil
+	default:
+		return nil, 0, fmt.Errorf("%w: unknown tag 0x%02X", ErrBadValue, tag)
+	}
+}
+
+// readString decodes a string body (length varint + bytes) at off, after
+// the caller consumed the tagString byte.
+func readString(buf []byte, off int) (string, int, error) {
+	n, next := getUvarint(buf, off)
+	if next < 0 || n > uint64(len(buf)-next) {
+		return "", 0, fmt.Errorf("%w: bad string length", ErrBadValue)
+	}
+	end := next + int(n)
+	return string(buf[next:end]), end, nil
+}
+
+// AppendRecord encodes one result row: varint arity, then values. Rows of
+// graph ids ([]any of int64) take the putInt fast path into a pre-sized
+// buffer; rows with other value types fall back to the generic encoder.
+func AppendRecord(buf []byte, row []any) ([]byte, error) {
+	allInts := true
+	for _, v := range row {
+		if _, ok := v.(int64); !ok {
+			allInts = false
+			break
+		}
+	}
+	if !allInts {
+		buf = appendUvarint(buf, uint64(len(row)))
+		var err error
+		for _, v := range row {
+			if buf, err = appendValue(buf, v); err != nil {
+				return nil, err
+			}
+		}
+		return buf, nil
+	}
+	// Fast path: grow once to worst case, then index-write the whole row.
+	need := maxVarintLen + len(row)*(1+maxVarintLen)
+	off := len(buf)
+	if cap(buf)-off < need {
+		grown := make([]byte, off, off+need)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = buf[:off+need]
+	off = putUvarint(buf, off, uint64(len(row)))
+	off = putIntRow(buf, off, row)
+	return buf[:off], nil
+}
+
+// putIntRow encodes an all-integer row into buf[off:] — the RECORD
+// encoder's hot inner loop; the caller pre-sized buf to worst case.
+//
+//vs:hotpath
+func putIntRow(buf []byte, off int, row []any) int {
+	for _, v := range row {
+		iv, _ := v.(int64)
+		off = putInt(buf, off, iv)
+	}
+	return off
+}
+
+// ReadRecord decodes one result row.
+func ReadRecord(buf []byte) ([]any, error) {
+	n, off := getUvarint(buf, 0)
+	if off < 0 || n > uint64(len(buf)-off) {
+		return nil, fmt.Errorf("%w: bad record arity", ErrBadValue)
+	}
+	row := make([]any, 0, n)
+	for i := uint64(0); i < n; i++ {
+		// Integer fast path mirrors the encoder's.
+		if iv, next := getInt(buf, off); next >= 0 {
+			row = append(row, iv)
+			off = next
+			continue
+		}
+		v, next, err := readValue(buf, off)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+		off = next
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after record", ErrBadValue, len(buf)-off)
+	}
+	return row, nil
+}

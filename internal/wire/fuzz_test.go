@@ -1,0 +1,73 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireDecode throws arbitrary bytes at every frame-payload decoder. The
+// decoders must never panic or over-read, and anything they accept must
+// re-encode to a value that decodes identically (the decode→encode→decode
+// fixpoint — the server trusts decoded values enough to re-encode them).
+func FuzzWireDecode(f *testing.F) {
+	seed := [][]byte{
+		{},
+		{0x00},
+		{0x7F},
+		{tagNull},
+		{tagTrue},
+		{tagInt, 0x80, 0x01},
+		{tagFloat, 0x3F, 0xF0, 0, 0, 0, 0, 0, 0},
+		{tagString, 0x02, 'h', 'i'},
+		{tagList, 0x02, 0x01, 0x02},
+		{tagMap, 0x01, tagString, 0x01, 'k', 0x07},
+	}
+	if frame, err := AppendMessage(nil, MsgRun, map[string]any{
+		"query":  "MATCH (a)-[:knows]-(b) RETURN a, b",
+		"params": map[string]any{"ids": []any{int64(1), int64(300)}},
+	}); err == nil {
+		seed = append(seed, frame)
+	}
+	if rec, err := AppendRecord(nil, []any{int64(3), int64(200), "x", 1.5, nil}); err == nil {
+		seed = append(seed, rec)
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if v, off, err := readValue(data, 0); err == nil {
+			if off < 0 || off > len(data) {
+				t.Fatalf("readValue consumed %d of %d bytes", off, len(data))
+			}
+			enc, err := appendValue(nil, v)
+			if err != nil {
+				t.Fatalf("accepted value %#v does not re-encode: %v", v, err)
+			}
+			v2, _, err := readValue(enc, 0)
+			if err != nil {
+				t.Fatalf("re-encoded value does not decode: %v", err)
+			}
+			// Compare via the encoding, not DeepEqual — NaN floats decode
+			// bit-identically but never compare equal to themselves.
+			enc2, err := appendValue(nil, v2)
+			if err != nil || !bytes.Equal(enc, enc2) {
+				t.Fatalf("decode→encode→decode mismatch: %x vs %x (%v)", enc, enc2, err)
+			}
+		}
+		if row, err := ReadRecord(data); err == nil {
+			enc, err := AppendRecord(nil, row)
+			if err != nil {
+				t.Fatalf("accepted record %#v does not re-encode: %v", row, err)
+			}
+			row2, err := ReadRecord(enc)
+			if err != nil {
+				t.Fatalf("re-encoded record does not decode: %v", err)
+			}
+			enc2, err := AppendRecord(nil, row2)
+			if err != nil || !bytes.Equal(enc, enc2) {
+				t.Fatalf("record fixpoint mismatch: %x vs %x (%v)", enc, enc2, err)
+			}
+		}
+		_, _, _ = ParseMessage(data)
+	})
+}

@@ -1,0 +1,312 @@
+// Package wire implements vsserve's framed binary streaming protocol — the
+// transport for result sets too large (or too latency-sensitive) for the
+// HTTP/JSON front end. The protocol is Bolt-shaped: a versioned handshake,
+// then length-prefixed messages; a RUN starts a query and answers with the
+// column shape and a cursor id, and the client drives the result with
+// FETCH n (answered by a run of RECORD frames and a SUCCESS carrying
+// has_more) or abandons it with DISCARD. Records use a compact value
+// encoding where a row of graph ids costs a few bytes per vertex.
+//
+// The server holds no query logic: every connection is one
+// session.Session, and all execution, cursor bookkeeping, backpressure,
+// and memory metering live in internal/session — shared with the HTTP
+// transport.
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cypher"
+	"repro/internal/session"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Logger, when non-nil, receives one record per connection open/close
+	// and per protocol-level failure.
+	Logger *slog.Logger
+	// IdleTimeout bounds the wait for the next client frame; clients keep
+	// long-lived idle connections alive with NOOP or PING frames. 0 = no
+	// limit.
+	IdleTimeout time.Duration
+}
+
+// Server accepts wire-protocol connections and serves them over a
+// session.Service.
+type Server struct {
+	svc  *session.Service
+	opts Options
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// NewServer returns a wire server over svc.
+func NewServer(svc *session.Service, opts Options) *Server {
+	return &Server{svc: svc, opts: opts, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until the listener closes, handling each
+// connection on its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.track(conn, true)
+		go func() { //vs:nolint(ctx-propagation) connection lifetime is bounded by the listener and Server.Close, not a caller context; the deferred session close inside handleConn is the cleanup
+			defer s.track(conn, false)
+			defer conn.Close() //vs:nolint(unchecked-err) read-side close of a dead conn on the way out
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close force-closes every live connection (their sessions close behind
+// them, discarding open cursors). The caller closes the listener.
+func (s *Server) Close() {
+	s.mu.Lock()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) track(conn net.Conn, add bool) {
+	s.mu.Lock()
+	if add {
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) logf(level slog.Level, msg string, args ...any) {
+	if s.opts.Logger != nil {
+		s.opts.Logger.Log(context.Background(), level, msg, args...)
+	}
+}
+
+// handleConn runs one connection: handshake, then the message loop. The
+// deferred session close is the disconnect cleanup path — it cancels any
+// producing cursor and releases every reservation, so an abandoned
+// connection cannot leak result memory.
+func (s *Server) handleConn(conn net.Conn) {
+	if err := s.handshake(conn); err != nil {
+		s.logf(slog.LevelWarn, "wire handshake failed", "remote", conn.RemoteAddr().String(), "error", err)
+		return
+	}
+	sess := s.svc.OpenSession(conn.RemoteAddr().String())
+	defer sess.Close()
+	s.logf(slog.LevelInfo, "wire session open", "session", sess.ID(), "remote", sess.Client())
+	defer s.logf(slog.LevelInfo, "wire session closed", "session", sess.ID())
+
+	h := &connHandler{srv: s, conn: conn, sess: sess}
+	h.loop()
+}
+
+// handshake validates the magic and negotiates the protocol version.
+func (s *Server) handshake(conn net.Conn) error {
+	if s.opts.IdleTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+	}
+	var hello [8]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return fmt.Errorf("reading handshake: %w", err)
+	}
+	if string(hello[:4]) != Magic {
+		return fmt.Errorf("bad magic %q", hello[:4])
+	}
+	proposed := uint32(hello[4])<<24 | uint32(hello[5])<<16 | uint32(hello[6])<<8 | uint32(hello[7])
+	var accept [4]byte
+	if proposed != Version {
+		// 0 = rejected; the connection closes right after.
+		if _, err := conn.Write(accept[:]); err != nil {
+			return err
+		}
+		return fmt.Errorf("unsupported protocol version %d", proposed)
+	}
+	accept[0] = byte(Version >> 24)
+	accept[1] = byte(Version >> 16)
+	accept[2] = byte(Version >> 8)
+	accept[3] = byte(Version)
+	_, err := conn.Write(accept[:])
+	return err
+}
+
+// connHandler is one connection's message loop state: reusable read/write
+// buffers and the session everything executes through.
+type connHandler struct {
+	srv  *Server
+	conn net.Conn
+	sess *session.Session
+	in   []byte
+	out  []byte
+}
+
+func (h *connHandler) loop() {
+	ctx := context.Background()
+	for {
+		if h.srv.opts.IdleTimeout > 0 {
+			_ = h.conn.SetReadDeadline(time.Now().Add(h.srv.opts.IdleTimeout))
+		}
+		frame, err := ReadFrame(h.conn, h.in)
+		if err != nil {
+			return // disconnect or timeout; deferred session close cleans up
+		}
+		h.in = frame
+		msg, body, err := ParseMessage(frame)
+		if err != nil {
+			_ = h.failure(CodeProtocol, err.Error()) // best-effort; the conn closes either way
+			return
+		}
+		switch msg {
+		case MsgHello:
+			err = h.success(map[string]any{
+				"server":      "vsserve",
+				"version":     int64(Version),
+				"fetch_batch": int64(h.srv.svc.FetchBatch()),
+			})
+		case MsgRun:
+			err = h.handleRun(ctx, body)
+		case MsgFetch:
+			err = h.handleFetch(body)
+		case MsgDiscard:
+			err = h.handleDiscard(body)
+		case MsgPing:
+			err = h.send(MsgPong, nil)
+		case MsgGoodbye:
+			return
+		default:
+			err = h.failure(CodeProtocol, fmt.Sprintf("unexpected message type 0x%02X", msg))
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// handleRun parses and starts a query, answering SUCCESS {cursor, columns,
+// streaming} — rows only move on FETCH.
+func (h *connHandler) handleRun(ctx context.Context, body map[string]any) error {
+	text, ok := BodyString(body, "query")
+	if !ok {
+		return h.failure(CodeProtocol, "RUN without query")
+	}
+	var params map[string]any
+	if p, ok := body["params"]; ok {
+		params, ok = p.(map[string]any)
+		if !ok {
+			return h.failure(CodeProtocol, "RUN params is not a map")
+		}
+	}
+	q, err := cypher.Parse(text)
+	if err != nil {
+		return h.failure(CodeSyntax, err.Error())
+	}
+	cur, err := h.sess.RunParsed(ctx, q, params)
+	if err != nil {
+		return h.failure(CodeQuery, err.Error())
+	}
+	cols := make([]any, len(cur.Columns()))
+	for i, c := range cur.Columns() {
+		cols[i] = c
+	}
+	return h.success(map[string]any{
+		"cursor":    int64(cur.ID()),
+		"columns":   cols,
+		"streaming": cur.Streaming(),
+	})
+}
+
+// handleFetch pulls up to n rows from a cursor: a RECORD frame per row,
+// then SUCCESS {has_more, rows}. When the stream ended with a failure
+// (kill, timeout, execution error), the FAILURE follows whatever rows were
+// delivered first — the client sees a correct prefix, then the error.
+func (h *connHandler) handleFetch(body map[string]any) error {
+	cur, perr := h.cursorFrom(body)
+	if perr != "" {
+		return h.failure(CodeProtocol, perr)
+	}
+	n, _ := BodyInt(body, "n")
+	rows, more, err := cur.Fetch(int(n))
+	for _, row := range rows {
+		h.out = h.out[:0]
+		h.out = append(h.out, MsgRecord)
+		enc, eerr := AppendRecord(h.out, row)
+		if eerr != nil {
+			return h.failure(CodeQuery, eerr.Error())
+		}
+		h.out = enc
+		if werr := WriteFrame(h.conn, h.out); werr != nil {
+			return werr
+		}
+	}
+	if err != nil && !errors.Is(err, session.ErrCursorClosed) {
+		return h.failure(CodeQuery, err.Error())
+	}
+	if errors.Is(err, session.ErrCursorClosed) {
+		return h.failure(CodeProtocol, "cursor is closed")
+	}
+	return h.success(map[string]any{
+		"has_more": more,
+		"rows":     int64(len(rows)),
+	})
+}
+
+// handleDiscard abandons a cursor. Discarding an unknown (already closed)
+// cursor succeeds — DISCARD races exhaustion benignly.
+func (h *connHandler) handleDiscard(body map[string]any) error {
+	id, ok := BodyInt(body, "cursor")
+	if !ok {
+		return h.failure(CodeProtocol, "DISCARD without cursor")
+	}
+	if cur := h.sess.Cursor(uint64(id)); cur != nil {
+		cur.Discard()
+	}
+	return h.success(nil)
+}
+
+// cursorFrom resolves the cursor named in a FETCH body, returning a
+// protocol-error string when it cannot.
+func (h *connHandler) cursorFrom(body map[string]any) (*session.Cursor, string) {
+	id, ok := BodyInt(body, "cursor")
+	if !ok {
+		return nil, "FETCH without cursor"
+	}
+	cur := h.sess.Cursor(uint64(id))
+	if cur == nil {
+		return nil, fmt.Sprintf("unknown cursor %d", id)
+	}
+	return cur, ""
+}
+
+func (h *connHandler) success(meta map[string]any) error {
+	return h.send(MsgSuccess, meta)
+}
+
+func (h *connHandler) failure(code, message string) error {
+	return h.send(MsgFailure, map[string]any{"code": code, "message": message})
+}
+
+func (h *connHandler) send(msg byte, body map[string]any) error {
+	h.out = h.out[:0]
+	enc, err := AppendMessage(h.out, msg, body)
+	if err != nil {
+		return err
+	}
+	h.out = enc
+	return WriteFrame(h.conn, h.out)
+}

@@ -68,6 +68,7 @@ if [ -z "${SKIP_FUZZ:-}" ]; then
     step "fuzz smoke (${FUZZTIME} each)"
     go test -run='^$' -fuzz=FuzzCypherParse -fuzztime="$FUZZTIME" ./internal/cypher
     go test -run='^$' -fuzz=FuzzHilbertRoundTrip -fuzztime="$FUZZTIME" ./internal/hilbert
+    go test -run='^$' -fuzz=FuzzWireDecode -fuzztime="$FUZZTIME" ./internal/wire
 fi
 
 if [ -z "${SKIP_SMOKE:-}" ]; then
@@ -83,6 +84,7 @@ if [ -z "${SKIP_SMOKE:-}" ]; then
     go run ./cmd/vsgen -dataset LastFM -scale 0.05 -out "$smokedir/graph" >/dev/null
     go build -o "$smokedir/vsserve" ./cmd/vsserve
     "$smokedir/vsserve" -data "$smokedir/graph" -addr 127.0.0.1:0 -access-log=false \
+        -wire-addr 127.0.0.1:0 -fetch-batch 16 \
         > "$smokedir/stdout" 2> "$smokedir/stderr" &
     serverpid=$!
 
@@ -158,6 +160,49 @@ if [ -z "${SKIP_SMOKE:-}" ]; then
     hits="$(curl -fsS "http://$hostport/metrics" | sed -n 's/^vs_matrix_cache_hits_total //p')"
     [ -n "$hits" ] && [ "$hits" -ge 1 ] \
         || { echo "repeated query produced no matrix-cache hits (vs_matrix_cache_hits_total=$hits)" >&2; exit 1; }
+
+    step "NDJSON streaming smoke (rows exceed one fetch batch, in-flight drains)"
+    # A streamable MATCH with "stream":true returns NDJSON: a columns header,
+    # one JSON array per row, and a summary trailer. The server was started
+    # with -fetch-batch 16, so any multi-batch result proves rows crossed
+    # several cursor fetches rather than one materialized response.
+    streamq='MATCH (p:SIGA)-[:knows*1..2]-(q:SIGB) RETURN p, q'
+    curl -fsS -N "http://$hostport/query" \
+        -d "{\"query\":\"$streamq\",\"stream\":true}" > "$smokedir/ndjson"
+    head -1 "$smokedir/ndjson" | grep -q '"columns":\["p","q"\]' \
+        || { echo "NDJSON header missing columns:" >&2; head -1 "$smokedir/ndjson" >&2; exit 1; }
+    head -1 "$smokedir/ndjson" | grep -q '"streaming":true' \
+        || { echo "NDJSON header did not mark the query streaming" >&2; exit 1; }
+    streamrows="$(( $(wc -l < "$smokedir/ndjson") - 2 ))"
+    [ "$streamrows" -gt 16 ] \
+        || { echo "streamed $streamrows rows; need more than one 16-row fetch batch" >&2; exit 1; }
+    tail -1 "$smokedir/ndjson" | grep -q "\"rows\":$streamrows" \
+        || { echo "NDJSON trailer row count disagrees with the stream:" >&2; tail -1 "$smokedir/ndjson" >&2; exit 1; }
+    # The streamed query must drain from the live registry once the cursor
+    # is exhausted — in-flight back to 0, total incremented.
+    inflight=""
+    for _ in $(seq 1 40); do
+        inflight="$(curl -fsS "http://$hostport/metrics" | sed -n 's/^vs_queries_in_flight //p')"
+        [ "$inflight" = "0" ] && break
+        sleep 0.1
+    done
+    [ "$inflight" = "0" ] \
+        || { echo "vs_queries_in_flight stuck at '$inflight' after stream drained" >&2; exit 1; }
+
+    step "wire protocol smoke (vsquery -wire rows match the HTTP/JSON path)"
+    wireaddr="$(sed -n 's/^wire protocol on //p' "$smokedir/stdout")"
+    [ -n "$wireaddr" ] || { echo "vsserve never announced the wire listener" >&2; exit 1; }
+    go build -o "$smokedir/vsquery" ./cmd/vsquery
+    "$smokedir/vsquery" -wire "$wireaddr" -json -query "$streamq" \
+        | sort > "$smokedir/wire_rows"
+    curl -fsS "http://$hostport/query" -d "{\"query\":\"$streamq\"}" \
+        | python3 -c 'import json,sys
+for row in json.load(sys.stdin)["rows"]:
+    print(json.dumps(row, separators=(",", ":")))' \
+        | sort > "$smokedir/http_rows"
+    [ -s "$smokedir/wire_rows" ] || { echo "vsquery -wire returned no rows" >&2; exit 1; }
+    diff -u "$smokedir/http_rows" "$smokedir/wire_rows" \
+        || { echo "wire and HTTP transports disagree on $streamq" >&2; exit 1; }
 
     step "vsserve -query-timeout smoke (expired deadline returns 504)"
     "$smokedir/vsserve" -data "$smokedir/graph" -addr 127.0.0.1:0 -access-log=false \
