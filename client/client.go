@@ -59,13 +59,14 @@ type ServerInfo struct {
 // Conn is one wire-protocol connection. Exactly one Rows may be open at a
 // time; Run while a Rows is open drains it implicitly via DISCARD.
 type Conn struct {
-	conn net.Conn
-	opts Options
-	info ServerInfo
-	rows *Rows // open result, if any
-	in   []byte
-	out  []byte
-	err  error // sticky transport error; the conn is dead once set
+	conn   net.Conn
+	opts   Options
+	info   ServerInfo
+	rows   *Rows // open result, if any
+	in     []byte
+	out    []byte
+	err    error // sticky transport error; the conn is dead once set
+	closed bool  // Close already ran; further Closes are no-ops
 }
 
 // Dial connects, handshakes, and exchanges HELLO.
@@ -174,8 +175,14 @@ func (c *Conn) Ping() error {
 	return nil
 }
 
-// Close sends GOODBYE and closes the connection.
+// Close sends GOODBYE and closes the connection. It is idempotent: the
+// first call tears the connection down, later calls return nil — so
+// `defer c.Close()` composes with an explicit error-path Close.
 func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	if c.rows != nil && !c.rows.closed {
 		_ = c.rows.Close() // best effort; the server reaps on disconnect anyway
 	}

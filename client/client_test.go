@@ -275,3 +275,57 @@ func TestWireRejectsBadVersion(t *testing.T) {
 		t.Fatalf("server accepted version 99: % x", accept)
 	}
 }
+
+// TestCloseIsIdempotent: closing twice (deferred Close after an explicit
+// error-path Close) must not return a use-of-closed-connection error.
+func TestCloseIsIdempotent(t *testing.T) {
+	addr, _ := startServer(t, session.Options{})
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v (must be a no-op)", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("third Close: %v", err)
+	}
+}
+
+// TestCloseIdempotentWithOpenRows: an open Rows does not break repeat
+// Close either — the first call discards the cursor, the rest are no-ops.
+func TestCloseIdempotentWithOpenRows(t *testing.T) {
+	addr, _ := startServer(t, session.Options{})
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(pairQuery, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("first Close with open rows: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestDialTimeoutFailsFast: dialing an unresponsive host must respect
+// DialTimeout instead of hanging. TEST-NET-3 (RFC 5737) is reserved and
+// never routable, so the dial either times out at the option's bound or
+// is refused immediately — both well under the OS default of minutes,
+// which is what an ignored DialTimeout would fall back to.
+func TestDialTimeoutFailsFast(t *testing.T) {
+	start := time.Now()
+	_, err := client.Dial("203.0.113.1:9", client.Options{DialTimeout: 150 * time.Millisecond})
+	if err == nil {
+		t.Fatal("Dial to TEST-NET-3 unexpectedly succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Dial took %v; DialTimeout of 150ms not honored", elapsed)
+	}
+}

@@ -16,11 +16,15 @@
 //	-json           machine-readable output (findings, per-analyzer wall
 //	                time, compiler report)
 //	-format github  ::error/::notice workflow annotations instead of text
+//	-format sarif   a SARIF 2.1.0 log on stdout, for GitHub code scanning
 //	-interproc      build the whole-program call graph and function
 //	                summaries, and run the interprocedural analyzers
 //	                (lock-order, hotpath-closure, cross-function
-//	                resource-balance and ctx-propagation) on top of the
-//	                per-package ones
+//	                resource-balance and ctx-propagation, plus the
+//	                concurrency tier: guarded-by, atomic-consistency,
+//	                channel-hygiene) on top of the per-package ones
+//	-nolint-audit   report stale //vs:nolint directives that suppress
+//	                nothing anymore (implies -interproc)
 //	-callgraph-dot  write the call graph in Graphviz DOT form (implies the
 //	                graph build; most useful with -interproc)
 //	-summary-cache  persist function summaries keyed by package content
@@ -73,8 +77,9 @@ type jsonOutput struct {
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON on stdout")
-	format := flag.String("format", "text", "finding output format: text or github")
+	format := flag.String("format", "text", "finding output format: text, github, or sarif")
 	interproc := flag.Bool("interproc", false, "run the interprocedural analyzers over the whole-program call graph")
+	nolintAudit := flag.Bool("nolint-audit", false, "report stale //vs:nolint directives that no finding hits (implies -interproc)")
 	callgraphDot := flag.String("callgraph-dot", "", "write the call graph in Graphviz DOT form to this path")
 	summaryCache := flag.String("summary-cache", "", "function-summary cache path (keyed by package content hash)")
 	compiler := flag.Bool("compiler", false, "also run the compiler-feedback gate over //vs:hotpath functions")
@@ -92,8 +97,8 @@ func main() {
 		printAnalyzers(os.Stdout)
 		return
 	}
-	if *format != "text" && *format != "github" {
-		fmt.Fprintf(os.Stderr, "vslint: unknown -format %q (want text or github)\n", *format)
+	if *format != "text" && *format != "github" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "vslint: unknown -format %q (want text, github, or sarif)\n", *format)
 		os.Exit(2)
 	}
 
@@ -120,8 +125,9 @@ func main() {
 	}
 
 	opts := vslint.Options{
-		Interproc:        *interproc || *callgraphDot != "",
+		Interproc:        *interproc || *callgraphDot != "" || *nolintAudit,
 		SummaryCachePath: *summaryCache,
+		NolintAudit:      *nolintAudit,
 	}
 	if opts.Interproc {
 		// The hotpath-closure analyzer trusts the compiler gate's escape
@@ -158,8 +164,13 @@ func main() {
 			Severity: f.Severity,
 			Approx:   f.Approx,
 		})
-		if !*jsonOut {
+		if !*jsonOut && *format != "sarif" {
 			printFinding(*format, out.Findings[len(out.Findings)-1])
+		}
+	}
+	if *format == "sarif" && !*jsonOut {
+		if err := vslint.WriteSARIF(os.Stdout, res.Findings, root); err != nil {
+			fatal(err)
 		}
 	}
 

@@ -94,6 +94,7 @@ func main() {
 		explain     = flag.Bool("explain", false, "print the query plan instead of executing")
 		analyze     = flag.Bool("analyze", false, "execute with tracing and print estimate-vs-actual per operator")
 		timeout     = flag.Duration("timeout", 0, "cancel the query after this deadline (0 = none)")
+		dialTimeout = flag.Duration("dial-timeout", 5*time.Second, "with -wire: give up connecting after this long (0 = wait forever)")
 		interactive = flag.Bool("i", false, "interactive shell (ignores -query/-file)")
 		statsOut    = flag.String("stats-out", "", "append per-operator est-vs-actual cardinality observations (JSONL) to this file")
 		traceOut    = flag.String("trace-out", "", "write the executed query's span tree as a Chrome trace-event JSON file (chrome://tracing)")
@@ -117,7 +118,7 @@ func main() {
 	}
 
 	if *wireAddr != "" {
-		runWire(*wireAddr, src, params, *jsonOut, *timeout)
+		runWire(*wireAddr, src, params, *jsonOut, *dialTimeout)
 		return
 	}
 
@@ -238,9 +239,10 @@ func main() {
 
 // runWire executes the query over the binary streaming protocol, printing
 // rows as they arrive — client memory holds one fetch batch at a time
-// however large the result.
-func runWire(addr, src string, params map[string]any, jsonOut bool, timeout time.Duration) {
-	c, err := client.Dial(addr, client.Options{DialTimeout: timeout, Client: "vsquery"})
+// however large the result. dialTimeout bounds connection establishment so
+// a dead host fails fast instead of hanging the CLI.
+func runWire(addr, src string, params map[string]any, jsonOut bool, dialTimeout time.Duration) {
+	c, err := client.Dial(addr, client.Options{DialTimeout: dialTimeout, Client: "vsquery"})
 	if err != nil {
 		log.Fatal(err)
 	}

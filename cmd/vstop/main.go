@@ -63,7 +63,7 @@ func main() {
 	go func() {
 		sc := bufio.NewScanner(os.Stdin)
 		for sc.Scan() {
-			cmds <- strings.TrimSpace(sc.Text())
+			cmds <- strings.TrimSpace(sc.Text()) //vs:nolint(channel-hygiene) stdin pump: a blocking Scan cannot be cancelled anyway, and the goroutine's lifetime is the process's — main either drains cmds or exits
 		}
 		close(cmds)
 	}()

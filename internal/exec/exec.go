@@ -153,7 +153,7 @@ func (d *DAG) Run(qc *QueryContext) error {
 				t0 := time.Now()
 				err := n.op.Run(qc)
 				qc.query.AddCPUNanos(time.Since(t0).Nanoseconds())
-				done <- doneMsg{node: n, err: err}
+				done <- doneMsg{node: n, err: err} //vs:nolint(channel-hygiene) done is buffered to len(d.nodes) and each worker sends exactly once, so capacity is reserved and the send cannot block
 			}(n)
 		}
 		if running == 0 {

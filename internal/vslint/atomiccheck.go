@@ -1,0 +1,196 @@
+package vslint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicConsistency enforces all-or-nothing atomicity: a field or variable
+// whose address is ever passed to a sync/atomic function (AddInt64, Load,
+// CompareAndSwap, ...) must be accessed through sync/atomic everywhere —
+// one plain read racing an atomic increment is still a data race, and on
+// 32-bit targets even a plain aligned read can tear. Values of the typed
+// atomics (atomic.Int64, atomic.Bool, ...) are checked for the dual
+// mistake: they must only be used as method receivers or have their
+// address taken — copying one (assignment, argument, composite literal)
+// silently forks the counter.
+var AtomicConsistency = &ModuleAnalyzer{
+	Name: "atomic-consistency",
+	Doc:  "a field accessed through sync/atomic anywhere must be accessed atomically everywhere; atomic-typed values must only be used through their methods",
+	Run:  runAtomicConsistency,
+}
+
+func runAtomicConsistency(mp *ModulePass) {
+	// Pass 1: find the plain-typed objects used atomically, remembering
+	// one atomic site per object as the witness and the identifiers inside
+	// the atomic calls themselves (those are the sanctioned uses).
+	atomicAt := map[*types.Var]token.Pos{}
+	sanctioned := map[*ast.Ident]bool{}
+	for _, pkg := range mp.Mod.Pkgs {
+		p := mp.passFor(pkg)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok || !atomicPkgCall(p, call) || len(call.Args) == 0 {
+					return true
+				}
+				ue, ok := unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					return true
+				}
+				obj := addrTarget(p, ue.X)
+				if obj == nil {
+					return true
+				}
+				if prev, ok := atomicAt[obj]; !ok || call.Pos() < prev {
+					atomicAt[obj] = call.Pos()
+				}
+				ast.Inspect(call.Args[0], func(y ast.Node) bool {
+					if id, ok := y.(*ast.Ident); ok {
+						sanctioned[id] = true
+					}
+					return true
+				})
+				return true
+			})
+		}
+	}
+
+	// Pass 2: flag every plain use of an atomically-accessed object, and
+	// every non-method, non-address use of an atomic-typed field/var.
+	for _, pkg := range mp.Mod.Pkgs {
+		p := mp.passFor(pkg)
+		for _, f := range pkg.Files {
+			walkStack(f, nil, func(x ast.Node, stack []ast.Node) bool {
+				id, ok := x.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, ok := p.Info.Uses[id].(*types.Var)
+				if !ok {
+					return true
+				}
+				v = v.Origin()
+				// The assignable node is the selector when id names a
+				// field; ancestors then start above it.
+				var node ast.Node = id
+				anc := stack
+				if len(stack) > 0 {
+					if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.Sel == id {
+						node = sel
+						anc = stack[:len(stack)-1]
+					}
+				}
+				if pos, ok := atomicAt[v]; ok && !sanctioned[id] {
+					kind := "read"
+					if writeContext(anc, node) {
+						kind = "write"
+					}
+					mp.Reportf(id.Pos(), false,
+						"plain %s of %s, which is accessed atomically at %s; mixed plain/atomic access is a data race",
+						kind, varDesc(v), shortPos(mp.Mod.Fset, pos))
+				} else if atomicTypeName(v.Type()) != "" {
+					if !methodReceiverUse(p, anc, node) {
+						mp.Reportf(id.Pos(), false,
+							"%s has type atomic.%s and must only be used as a method receiver or through &: copying it forks the value",
+							varDesc(v), atomicTypeName(v.Type()))
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// atomicPkgCall matches a call of a sync/atomic package function.
+func atomicPkgCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[base].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return false
+	}
+	for _, prefix := range [...]string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(sel.Sel.Name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// addrTarget resolves the operand of & in an atomic call's first argument
+// to the variable it names: a struct field or a plain variable.
+func addrTarget(p *Pass, e ast.Expr) *types.Var {
+	switch x := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return selField(p, x)
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[x].(*types.Var); ok {
+			return v.Origin()
+		}
+	}
+	return nil
+}
+
+// atomicTypeName returns the sync/atomic type name of t ("Int64", "Bool",
+// "Pointer", ...) or "".
+func atomicTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	return obj.Name()
+}
+
+// methodReceiverUse reports whether node is used as a method-call receiver
+// (c.v.Add(1)) or has its address taken (&c.v) — the two legitimate ways
+// to touch an atomic-typed value.
+func methodReceiverUse(p *Pass, anc []ast.Node, node ast.Node) bool {
+	cur := node
+	for i := len(anc) - 1; i >= 0; i-- {
+		switch parent := anc[i].(type) {
+		case *ast.ParenExpr:
+			cur = parent
+		case *ast.SelectorExpr:
+			if parent.X != cur {
+				return false
+			}
+			if s, ok := p.Info.Selections[parent]; ok && s.Kind() == types.MethodVal {
+				return true
+			}
+			return false
+		case *ast.UnaryExpr:
+			return parent.Op == token.AND && parent.X == cur
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// varDesc names a variable for a finding message: "pkg/path.Type.field"
+// for fields, "pkg/path.name" otherwise.
+func varDesc(v *types.Var) string {
+	if v.IsField() {
+		if v.Pkg() != nil {
+			return v.Pkg().Path() + ".field " + v.Name()
+		}
+		return "field " + v.Name()
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Path() + "." + v.Name()
+	}
+	return v.Name()
+}

@@ -1,0 +1,121 @@
+package vslint
+
+import "testing"
+
+// TestAtomicConsistencyFlagsMixedAccess is the seeded mixed-atomic
+// acceptance fixture: a package variable incremented through sync/atomic
+// and read (and reset) plainly elsewhere.
+func TestAtomicConsistencyFlagsMixedAccess(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+import "sync/atomic"
+
+var hits int64
+
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func report() int64 {
+	return hits
+}
+
+func reset() {
+	hits = 0
+}
+`, Options{})
+	wantFinding(t, res.Findings, "atomic-consistency", "plain read of seed.hits")
+	wantFinding(t, res.Findings, "atomic-consistency", "plain write of seed.hits")
+	wantFinding(t, res.Findings, "atomic-consistency", "accessed atomically at seed.go:8")
+}
+
+// TestAtomicConsistencyFlagsMixedFieldAccess: same rule through a struct
+// field — the finding must survive the selector indirection.
+func TestAtomicConsistencyFlagsMixedFieldAccess(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+import "sync/atomic"
+
+type Stats struct {
+	n int64
+}
+
+func (s *Stats) inc() {
+	atomic.AddInt64(&s.n, 1)
+}
+
+func (s *Stats) get() int64 {
+	return s.n
+}
+`, Options{})
+	wantFinding(t, res.Findings, "atomic-consistency", "plain read of seed.field n")
+}
+
+// TestAtomicConsistencyAcceptsUniformAtomics: every access through
+// sync/atomic — nothing to report.
+func TestAtomicConsistencyAcceptsUniformAtomics(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+import "sync/atomic"
+
+var flag int64
+
+func set() {
+	atomic.StoreInt64(&flag, 1)
+}
+
+func get() int64 {
+	return atomic.LoadInt64(&flag)
+}
+`, Options{})
+	wantNoFinding(t, res.Findings, "atomic-consistency")
+}
+
+// TestAtomicConsistencyFlagsTypedAtomicCopy: returning an atomic.Int64 by
+// value forks the counter; method calls and address-taking are the only
+// sanctioned uses.
+func TestAtomicConsistencyFlagsTypedAtomicCopy(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+import "sync/atomic"
+
+var ctr atomic.Int64
+
+func bump() {
+	ctr.Add(1)
+}
+
+func ptr() *atomic.Int64 {
+	return &ctr
+}
+
+func leak() atomic.Int64 {
+	return ctr
+}
+`, Options{})
+	got := findingsOf(res, "atomic-consistency")
+	if len(got) != 1 {
+		t.Fatalf("want exactly 1 atomic-consistency finding (the copy in leak), got %d:\n%s", len(got), renderFindings(got))
+	}
+	wantFinding(t, res.Findings, "atomic-consistency", "seed.ctr has type atomic.Int64")
+	wantFinding(t, res.Findings, "atomic-consistency", "copying it forks the value")
+}
+
+// TestAtomicConsistencyNolintSuppression is the suppressed-negative case.
+func TestAtomicConsistencyNolintSuppression(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+import "sync/atomic"
+
+var hits int64
+
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func report() int64 {
+	return hits //vs:nolint(atomic-consistency) init-time read before any goroutine starts
+}
+`, Options{})
+	wantNoFinding(t, res.Findings, "atomic-consistency")
+}

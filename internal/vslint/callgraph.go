@@ -325,7 +325,7 @@ func (b *graphBuilder) collectFileCandidates(pkg *Package, f *ast.File) {
 			// A declared function referenced outside call position is a
 			// value: it may flow anywhere a matching signature is invoked.
 			if obj, ok := pkg.Info.Uses[node].(*types.Func); ok {
-				if fn := b.g.byObj[obj]; fn != nil && !isCallPosition(stack, node) {
+				if fn := b.g.byObj[obj.Origin()]; fn != nil && !isCallPosition(stack, node) {
 					b.addSigCandidate(fn)
 				}
 			}
@@ -379,17 +379,17 @@ func (b *graphBuilder) resolveFuncExpr(pkg *Package, e ast.Expr) *FuncNode {
 	switch e := unparen(e).(type) {
 	case *ast.Ident:
 		if obj, ok := pkg.Info.Uses[e].(*types.Func); ok {
-			return b.g.byObj[obj]
+			return b.g.byObj[obj.Origin()]
 		}
 	case *ast.SelectorExpr:
 		if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.MethodVal {
 			if obj, ok := sel.Obj().(*types.Func); ok {
-				return b.g.byObj[obj]
+				return b.g.byObj[obj.Origin()]
 			}
 		}
 		// pkgname.Func
 		if obj, ok := pkg.Info.Uses[e.Sel].(*types.Func); ok {
-			return b.g.byObj[obj]
+			return b.g.byObj[obj.Origin()]
 		}
 	case *ast.FuncLit:
 		return b.g.byLit[e]
@@ -472,6 +472,34 @@ func (b *graphBuilder) addEdges(caller *FuncNode, body *ast.BlockStmt) {
 	walk(body, false)
 }
 
+// unwrapInstantiation peels the type-argument index off an explicitly
+// instantiated generic call target (f[int], pkg.Map[K, V]) so the callee
+// resolves statically. Only operands that name a function are unwrapped:
+// value indexing like handlers[i]() keeps its index and stays on the
+// conservative paths.
+func unwrapInstantiation(pkg *Package, fun ast.Expr) ast.Expr {
+	var x ast.Expr
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		x = unparen(idx.X)
+	case *ast.IndexListExpr:
+		x = unparen(idx.X)
+	default:
+		return fun
+	}
+	switch op := x.(type) {
+	case *ast.Ident:
+		if _, ok := pkg.Info.Uses[op].(*types.Func); ok {
+			return x
+		}
+	case *ast.SelectorExpr:
+		if _, ok := pkg.Info.Uses[op.Sel].(*types.Func); ok {
+			return x
+		}
+	}
+	return fun
+}
+
 // callEdge classifies one call expression and records the edge(s).
 func (b *graphBuilder) callEdge(caller *FuncNode, call *ast.CallExpr, isGo bool) {
 	b.curCall = call
@@ -483,13 +511,18 @@ func (b *graphBuilder) callEdge(caller *FuncNode, call *ast.CallExpr, isGo bool)
 		return
 	}
 
+	// Explicit instantiation (f[int](x), pkg.Map[K, V](m)): peel the
+	// type-argument index so the callee resolves statically instead of
+	// falling through to the unknown node.
+	fun = unwrapInstantiation(pkg, fun)
+
 	switch fun := fun.(type) {
 	case *ast.Ident:
 		switch obj := pkg.Info.Uses[fun].(type) {
 		case *types.Builtin:
 			return
 		case *types.Func:
-			b.edgeTo(caller, b.g.byObj[obj], call.Pos(), EdgeStatic, isGo)
+			b.edgeTo(caller, b.g.byObj[obj.Origin()], call.Pos(), EdgeStatic, isGo)
 			return
 		case *types.Var:
 			// Plain func-typed variable or parameter: signature candidates.
@@ -510,7 +543,9 @@ func (b *graphBuilder) callEdge(caller *FuncNode, call *ast.CallExpr, isGo bool)
 					b.ifaceEdges(caller, call, sel.Recv(), obj.Name(), isGo)
 					return
 				}
-				b.edgeTo(caller, b.g.byObj[obj], call.Pos(), EdgeStatic, isGo)
+				// Methods on instantiated generic receivers resolve to the
+				// instantiated object; the graph node is the declared one.
+				b.edgeTo(caller, b.g.byObj[obj.Origin()], call.Pos(), EdgeStatic, isGo)
 				return
 			case types.FieldVal:
 				if field, ok := sel.Obj().(*types.Var); ok {
@@ -522,7 +557,7 @@ func (b *graphBuilder) callEdge(caller *FuncNode, call *ast.CallExpr, isGo bool)
 		// pkgname.Func or interface-typed package var.
 		switch obj := pkg.Info.Uses[fun.Sel].(type) {
 		case *types.Func:
-			b.edgeTo(caller, b.g.byObj[obj], call.Pos(), EdgeStatic, isGo)
+			b.edgeTo(caller, b.g.byObj[obj.Origin()], call.Pos(), EdgeStatic, isGo)
 			return
 		case *types.Var:
 			if obj.IsField() {

@@ -1,0 +1,233 @@
+package vslint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ChannelHygiene polices blocking channel operations in go-spawned code.
+// A send or receive that runs on a spawned goroutine must be cancellable
+// or provably terminating, or the goroutine leaks when its peer goes away:
+//
+//   - an operation in a `select` is fine when another arm is a default or
+//     a receive on a different channel (ctx.Done(), a stop channel, a
+//     ticker — the cancellation arm);
+//   - a bare receive is fine when the channel is a call result (receiving
+//     from ctx.Done() IS the cancellation wait), is closed by its owner
+//     somewhere in the module (close unblocks every receiver), or is
+//     local to the function (its lifetime is the function's);
+//   - a bare send has no such outs: close does not unblock senders, so a
+//     send needs a select cancellation arm (or a justified //vs:nolint
+//     when capacity is provably reserved, as in a completion channel
+//     sized to the worker count).
+//
+// Scope is goroutine-reachable functions only — the main goroutine
+// blocking on a channel is an ordinary wait, not a leak.
+var ChannelHygiene = &ModuleAnalyzer{
+	Name: "channel-hygiene",
+	Doc:  "channel sends/receives on spawned goroutines must have a cancellation arm, an owner close, or function-local lifetime",
+	Run:  runChannelHygiene,
+}
+
+func runChannelHygiene(mp *ModulePass) {
+	reach := goReachable(mp.Graph)
+	if len(reach) == 0 {
+		return
+	}
+	closed := closedChans(mp)
+	for _, n := range mp.Graph.Nodes {
+		ri := reach[n]
+		if ri == nil || n.Pkg == nil || n.Body() == nil {
+			continue
+		}
+		p := mp.passFor(n.Pkg)
+		locals := localChans(p, n)
+		spawn, chain := spawnChain(reach, n)
+		witness := func() string {
+			return "spawned at " + shortPos(mp.Mod.Fset, spawn.Pos) + ": " + strings.Join(chain, " → ")
+		}
+		walkStack(n.Body(), nil, func(x ast.Node, stack []ast.Node) bool {
+			switch e := x.(type) {
+			case *ast.FuncLit:
+				return false // its own call-graph node
+			case *ast.SendStmt:
+				if selectCancelArm(p, stack, e) {
+					return true
+				}
+				mp.Reportf(e.Arrow, ri.approx,
+					"send on %s in goroutine-spawned code without a select cancellation arm; if every receiver is gone this goroutine leaks (%s)",
+					chanDesc(e.Chan), witness())
+			case *ast.UnaryExpr:
+				if e.Op != token.ARROW {
+					return true
+				}
+				if selectCancelArm(p, stack, e) {
+					return true
+				}
+				if receiveExempt(p, e.X, closed, locals) {
+					return true
+				}
+				mp.Reportf(e.OpPos, ri.approx,
+					"blocking receive on %s in goroutine-spawned code with no cancellation arm, owner close, or local lifetime (%s)",
+					chanDesc(e.X), witness())
+			case *ast.RangeStmt:
+				if e.X == nil {
+					return true
+				}
+				t := p.typeOf(e.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Chan); !ok {
+					return true
+				}
+				if receiveExempt(p, e.X, closed, locals) {
+					return true
+				}
+				mp.Reportf(e.For, ri.approx,
+					"range over %s in goroutine-spawned code: nothing closes it here, so the loop can block forever (%s)",
+					chanDesc(e.X), witness())
+			}
+			return true
+		})
+	}
+}
+
+// receiveExempt applies the bare-receive outs: call-result channels,
+// owner-closed channels, and function-local channels.
+func receiveExempt(p *Pass, ch ast.Expr, closed map[types.Object]bool, locals map[types.Object]bool) bool {
+	if _, ok := unparen(ch).(*ast.CallExpr); ok {
+		return true // <-ctx.Done(), <-time.After(d): the wait is the point
+	}
+	obj := chanOpObj(p, ch)
+	if obj == nil {
+		return false
+	}
+	return closed[obj] || locals[obj]
+}
+
+// selectCancelArm reports whether op is the communication of a select case
+// that has another arm able to fire independently: a default clause or a
+// receive in a different case.
+func selectCancelArm(p *Pass, stack []ast.Node, op ast.Node) bool {
+	var sel *ast.SelectStmt
+	var clause *ast.CommClause
+	for i := len(stack) - 1; i >= 0; i-- {
+		if cc, ok := stack[i].(*ast.CommClause); ok && clause == nil {
+			if cc.Comm != nil && cc.Comm.Pos() <= op.Pos() && op.End() <= cc.Comm.End() {
+				clause = cc
+				continue
+			}
+			return false // op is in a case body, not a communication
+		}
+		if ss, ok := stack[i].(*ast.SelectStmt); ok && clause != nil {
+			sel = ss
+			break
+		}
+	}
+	if sel == nil || clause == nil {
+		return false
+	}
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc == clause {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default: never blocks
+		}
+		if commIsReceive(cc.Comm) {
+			return true // a receive arm (stop channel, ctx.Done, ticker)
+		}
+	}
+	return false
+}
+
+func commIsReceive(s ast.Stmt) bool {
+	switch c := s.(type) {
+	case *ast.ExprStmt:
+		u, ok := unparen(c.X).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		if len(c.Rhs) != 1 {
+			return false
+		}
+		u, ok := unparen(c.Rhs[0]).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	}
+	return false
+}
+
+// chanOpObj resolves a channel operand to the variable or field it names.
+func chanOpObj(p *Pass, e ast.Expr) types.Object {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		if o := p.Info.Uses[x]; o != nil {
+			return o
+		}
+		return p.Info.Defs[x]
+	case *ast.SelectorExpr:
+		if f := selField(p, x); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// closedChans collects every channel variable/field the module close()s —
+// receives on those terminate when the owner shuts down.
+func closedChans(mp *ModulePass) map[types.Object]bool {
+	set := map[types.Object]bool{}
+	for _, pkg := range mp.Mod.Pkgs {
+		p := mp.passFor(pkg)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				id, ok := unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "close" {
+					return true
+				}
+				if _, ok := p.Info.Uses[id].(*types.Builtin); !ok {
+					return true
+				}
+				if obj := chanOpObj(p, call.Args[0]); obj != nil {
+					set[obj] = true
+				}
+				return true
+			})
+		}
+	}
+	return set
+}
+
+// localChans returns the channel-typed variables declared inside n's body.
+func localChans(p *Pass, n *FuncNode) map[types.Object]bool {
+	set := map[types.Object]bool{}
+	ast.Inspect(n.Body(), func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil || obj.Type() == nil {
+			return true
+		}
+		if _, ok := obj.Type().Underlying().(*types.Chan); ok {
+			set[obj] = true
+		}
+		return true
+	})
+	return set
+}
+
+func chanDesc(e ast.Expr) string {
+	if key := exprKey(e); key != "" {
+		return key
+	}
+	return "channel"
+}

@@ -1,0 +1,197 @@
+package vslint
+
+import "testing"
+
+// TestChannelHygieneFlagsBareSendInGoroutine is the seeded leaky-goroutine
+// acceptance fixture: a send on a spawned goroutine with no cancellation
+// arm blocks forever once the receiver is gone.
+func TestChannelHygieneFlagsBareSendInGoroutine(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+func produce(ch chan int) {
+	ch <- 1
+}
+
+func Spawn(ch chan int) {
+	go produce(ch)
+}
+`, Options{})
+	wantFinding(t, res.Findings, "channel-hygiene", "send on ch in goroutine-spawned code without a select cancellation arm")
+	wantFinding(t, res.Findings, "channel-hygiene", "spawned at")
+	wantFinding(t, res.Findings, "channel-hygiene", "produce")
+}
+
+// TestChannelHygieneAcceptsSelectWithCancelArm: the same send inside a
+// select whose other arm is the context cancellation receive. The send is
+// exempt because another arm is a receive; the <-ctx.Done() arm is exempt
+// because receiving from a call result is the cancellation wait itself.
+func TestChannelHygieneAcceptsSelectWithCancelArm(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+import "context"
+
+func produce(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+func Spawn(ctx context.Context, ch chan int) {
+	go produce(ctx, ch)
+}
+`, Options{})
+	wantNoFinding(t, res.Findings, "channel-hygiene")
+}
+
+// TestChannelHygieneAcceptsSelectWithClosedStopField: a stop channel that
+// is a struct field closed by the owner exempts both its own receive arm
+// (owner close) and the sibling send arm (another arm is a receive).
+func TestChannelHygieneAcceptsSelectWithClosedStopField(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+type Pump struct {
+	out  chan int
+	stop chan struct{}
+}
+
+func (p *Pump) run() {
+	select {
+	case p.out <- 1:
+	case <-p.stop:
+	}
+}
+
+func (p *Pump) Start() {
+	go p.run()
+}
+
+func (p *Pump) Close() {
+	close(p.stop)
+}
+`, Options{})
+	wantNoFinding(t, res.Findings, "channel-hygiene")
+}
+
+// TestChannelHygieneAcceptsSelectDefault: a default arm means the send
+// never blocks.
+func TestChannelHygieneAcceptsSelectDefault(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+func offer(ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+func Spawn(ch chan int) {
+	go offer(ch)
+}
+`, Options{})
+	wantNoFinding(t, res.Findings, "channel-hygiene")
+}
+
+// TestChannelHygieneFlagsBareReceiveAndRange: a blocking receive and a
+// range on a spawned goroutine with no close in sight.
+func TestChannelHygieneFlagsBareReceiveAndRange(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+func consume(ch chan int) {
+	<-ch
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func Spawn(ch chan int) {
+	go consume(ch)
+	go drain(ch)
+}
+`, Options{})
+	wantFinding(t, res.Findings, "channel-hygiene", "blocking receive on ch")
+	wantFinding(t, res.Findings, "channel-hygiene", "range over ch")
+}
+
+// TestChannelHygieneAcceptsOwnerClosedField: the worker ranges over a
+// struct-field channel that the owner close()s elsewhere in the module —
+// close unblocks every receiver.
+func TestChannelHygieneAcceptsOwnerClosedField(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+type Worker struct {
+	ch chan int
+}
+
+func (w *Worker) loop() {
+	for range w.ch {
+	}
+}
+
+func (w *Worker) Start() {
+	go w.loop()
+}
+
+func (w *Worker) Close() {
+	close(w.ch)
+}
+`, Options{})
+	wantNoFinding(t, res.Findings, "channel-hygiene")
+}
+
+// TestChannelHygieneAcceptsCallResultReceive: receiving from a call result
+// (ctx.Done(), time.After) is the cancellation wait itself.
+func TestChannelHygieneAcceptsCallResultReceive(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+import "context"
+
+func wait(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func Spawn(ctx context.Context) {
+	go wait(ctx)
+}
+`, Options{})
+	wantNoFinding(t, res.Findings, "channel-hygiene")
+}
+
+// TestChannelHygieneAcceptsLocalChannel: a channel created, used, and
+// closed inside the spawned function lives and dies with it.
+func TestChannelHygieneAcceptsLocalChannel(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+func worker() {
+	sub := make(chan int)
+	go func() {
+		close(sub)
+	}()
+	for range sub {
+	}
+}
+
+func Spawn() {
+	go worker()
+}
+`, Options{})
+	wantNoFinding(t, res.Findings, "channel-hygiene")
+}
+
+// TestChannelHygieneNolintSuppression is the suppressed-negative case: the
+// reserved-capacity completion-channel pattern, justified inline.
+func TestChannelHygieneNolintSuppression(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+func produce(ch chan int) {
+	ch <- 1 //vs:nolint(channel-hygiene) ch is buffered to the worker count; capacity is reserved
+}
+
+func Spawn(ch chan int) {
+	go produce(ch)
+}
+`, Options{})
+	wantNoFinding(t, res.Findings, "channel-hygiene")
+}

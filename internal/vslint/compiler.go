@@ -145,21 +145,36 @@ func hotpathIndex(mod *Module) []hotpathRange {
 }
 
 // funcDisplayName renders fd the way the compiler and pprof do:
-// "Name", "Recv.Name", or "(*Recv).Name".
+// "Name", "Recv.Name", or "(*Recv).Name". Generic receivers drop their
+// type parameters: methods of Box[T] display as "(*Box).Set".
 func funcDisplayName(fd *ast.FuncDecl) string {
 	if fd.Recv == nil || len(fd.Recv.List) == 0 {
 		return fd.Name.Name
 	}
 	t := fd.Recv.List[0].Type
 	if star, ok := t.(*ast.StarExpr); ok {
-		if id, ok := star.X.(*ast.Ident); ok {
-			return "(*" + id.Name + ")." + fd.Name.Name
+		if name := recvTypeName(star.X); name != "" {
+			return "(*" + name + ")." + fd.Name.Name
 		}
 	}
-	if id, ok := t.(*ast.Ident); ok {
-		return id.Name + "." + fd.Name.Name
+	if name := recvTypeName(t); name != "" {
+		return name + "." + fd.Name.Name
 	}
 	return fd.Name.Name
+}
+
+// recvTypeName names a receiver base type, unwrapping the type-parameter
+// index of generic receivers (Box[T], Pair[K, V]).
+func recvTypeName(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
 }
 
 // RunCompilerGate rebuilds the module with escape-analysis and

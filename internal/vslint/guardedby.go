@@ -1,0 +1,321 @@
+package vslint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// GuardedBy is the lockset race analyzer. For every struct that carries a
+// sync.Mutex/RWMutex field, it infers which mutex guards each data field
+// from the writes observed under a held lock (a field written at least
+// once with a sibling mutex held is treated as guarded by it; reads under
+// lock are deliberately ignored — immutable fields are read inside
+// critical sections all the time without being guarded). An explicit
+//
+//	//vs:guardedby(mu)   — pin the guard to the sibling mutex field mu
+//	//vs:guardedby(none) — opt the field out of inference
+//
+// on the field declaration overrides the inference. Locksets propagate
+// through the call graph (entry lockset = intersection over call sites of
+// caller entry ∪ locks held at the call; go edges contribute nothing), and
+// every access of a guarded field reachable from a goroutine spawn with no
+// guard held is reported with the spawn site and call chain as witness.
+//
+// Known approximations, by design: may-held local flow and must-intersect
+// entry sets err toward silence; accesses through fresh non-escaping
+// locals (constructors) are skipped; embedded mutexes are not lock
+// classes (matching the lock-order analyzer); atomic and sync-typed
+// fields are exempt.
+var GuardedBy = &ModuleAnalyzer{
+	Name: "guarded-by",
+	Doc:  "a field written under a mutex (or pinned with //vs:guardedby) must hold that mutex at every goroutine-reachable access",
+	Run:  runGuardedBy,
+}
+
+// guardStruct is one struct with at least one mutex field.
+type guardStruct struct {
+	display string            // "pkg/path.Type"
+	mutexes map[string]string // mutex field name -> lock class
+	classes map[string]bool   // the same classes, as a set
+}
+
+// guardField is one data field of a guardStruct.
+type guardField struct {
+	owner    *guardStruct
+	name     string
+	pins     map[string]bool // non-nil: classes pinned by //vs:guardedby
+	optOut   bool            // //vs:guardedby(none)
+	inferred map[string]token.Pos
+}
+
+type guardTable struct {
+	fields map[*types.Var]*guardField
+	track  map[*types.Var]bool
+}
+
+func runGuardedBy(mp *ModulePass) {
+	table := collectGuardedFields(mp)
+	if len(table.fields) == 0 {
+		return
+	}
+	flows := moduleLockFlows(mp, table.track)
+	entry := entryLocksets(mp.Graph, flows)
+	reach := goReachable(mp.Graph)
+
+	// Inference: a write with a sibling mutex held marks the field guarded
+	// by that mutex. The earliest such write is kept as the witness.
+	for _, n := range mp.Graph.Nodes {
+		fl := flows[n]
+		if fl == nil {
+			continue
+		}
+		for _, a := range fl.accesses {
+			if !a.write || a.owned {
+				continue
+			}
+			gf := table.fields[a.obj]
+			held := unionSet(copySet(entry[n]), a.held)
+			for class := range held {
+				if !gf.owner.classes[class] {
+					continue
+				}
+				if prev, ok := gf.inferred[class]; !ok || a.pos < prev {
+					gf.inferred[class] = a.pos
+				}
+			}
+		}
+	}
+
+	// Race reports: guarded-field accesses in goroutine-reachable code
+	// whose lockset misses every guard.
+	for _, n := range mp.Graph.Nodes {
+		ri := reach[n]
+		fl := flows[n]
+		if ri == nil || fl == nil {
+			continue
+		}
+		for _, a := range fl.accesses {
+			if a.owned {
+				continue
+			}
+			gf := table.fields[a.obj]
+			guards, basis := gf.guardSet(mp.Mod.Fset)
+			if len(guards) == 0 {
+				continue
+			}
+			held := unionSet(copySet(entry[n]), a.held)
+			if intersects(held, guards) {
+				continue
+			}
+			kind := "read"
+			if a.write {
+				kind = "write"
+			}
+			spawn, chain := spawnChain(reach, n)
+			mp.Reportf(a.pos, ri.approx,
+				"%s of %s.%s without holding %s (%s); runs on the goroutine spawned at %s: %s",
+				kind, gf.owner.display, gf.name, guardDesc(guards), basis,
+				shortPos(mp.Mod.Fset, spawn.Pos), strings.Join(chain, " → "))
+		}
+	}
+}
+
+// guardSet resolves the field's effective guards: the pinned classes when
+// annotated, the inferred ones otherwise, and a human-readable basis.
+func (gf *guardField) guardSet(fset *token.FileSet) (map[string]bool, string) {
+	if gf.optOut {
+		return nil, ""
+	}
+	if gf.pins != nil {
+		return gf.pins, "pinned by //vs:guardedby"
+	}
+	if len(gf.inferred) == 0 {
+		return nil, ""
+	}
+	set := make(map[string]bool, len(gf.inferred))
+	for class := range gf.inferred {
+		set[class] = true
+	}
+	first := sortedSetKeys(set)[0]
+	return set, "inferred from the guarded write at " + shortPos(fset, gf.inferred[first])
+}
+
+func guardDesc(guards map[string]bool) string {
+	names := sortedSetKeys(guards)
+	if len(names) == 1 {
+		return names[0]
+	}
+	return "one of " + strings.Join(names, ", ")
+}
+
+// shortPos renders a position as "file.go:12" for inline message use.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// collectGuardedFields builds the module's guarded-field table from every
+// named struct that declares a mutex field, validating //vs:guardedby
+// annotations along the way.
+func collectGuardedFields(mp *ModulePass) *guardTable {
+	t := &guardTable{
+		fields: map[*types.Var]*guardField{},
+		track:  map[*types.Var]bool{},
+	}
+	for _, pkg := range mp.Mod.Pkgs {
+		p := mp.passFor(pkg)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					collectStruct(mp, p, ts, st, t)
+				}
+			}
+		}
+	}
+	return t
+}
+
+func collectStruct(mp *ModulePass, p *Pass, ts *ast.TypeSpec, st *ast.StructType, t *guardTable) {
+	tn, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok || tn.Pkg() == nil {
+		return
+	}
+	gs := &guardStruct{
+		display: tn.Pkg().Path() + "." + tn.Name(),
+		mutexes: map[string]string{},
+		classes: map[string]bool{},
+	}
+	type pending struct {
+		fv  *types.Var
+		gf  *guardField
+		pin string
+		pos token.Pos
+	}
+	var fields []pending
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			continue // embedded: not a lock class, not a tracked field
+		}
+		arg, argPos, annotated := guardedByArg(field.Doc, field.Comment)
+		for _, name := range field.Names {
+			fv, ok := p.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			ft := fv.Type()
+			if ptr, ok := ft.(*types.Pointer); ok {
+				ft = ptr.Elem()
+			}
+			if isSyncType(ft, "Mutex") || isSyncType(ft, "RWMutex") {
+				class := tn.Pkg().Path() + "." + tn.Name() + "." + fv.Name()
+				gs.mutexes[fv.Name()] = class
+				gs.classes[class] = true
+				continue
+			}
+			if concurrencySafeType(fv.Type()) {
+				continue // WaitGroup, Once, atomic.* — safe by construction
+			}
+			gf := &guardField{owner: gs, name: fv.Name(), inferred: map[string]token.Pos{}}
+			pin := ""
+			if annotated {
+				switch arg {
+				case "none":
+					gf.optOut = true
+				case "":
+					mp.Reportf(argPos, false, "malformed //vs:guardedby: expected (mutexField) or (none)")
+				default:
+					pin = arg // resolved after the mutex fields are known
+				}
+			}
+			fields = append(fields, pending{fv: fv, gf: gf, pin: pin, pos: argPos})
+		}
+	}
+	if len(gs.classes) == 0 {
+		// No mutex to guard with: inference is impossible, but a stray
+		// annotation still deserves a diagnostic.
+		for _, pf := range fields {
+			if pf.pin != "" {
+				mp.Reportf(pf.pos, false, "//vs:guardedby(%s): %s has no sync.Mutex/RWMutex field", pf.pin, gs.display)
+			}
+		}
+		return
+	}
+	for _, pf := range fields {
+		if pf.pin != "" {
+			class, ok := gs.mutexes[pf.pin]
+			if !ok {
+				mp.Reportf(pf.pos, false, "//vs:guardedby(%s): %s has no sync.Mutex/RWMutex field named %q", pf.pin, gs.display, pf.pin)
+			} else {
+				pf.gf.pins = map[string]bool{class: true}
+			}
+		}
+		t.fields[pf.fv] = pf.gf
+		t.track[pf.fv] = true
+	}
+}
+
+// concurrencySafeType reports whether t (or its pointee) is a sync or
+// sync/atomic named type — already safe for concurrent use on its own.
+func concurrencySafeType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sync", "sync/atomic":
+		return true
+	}
+	return false
+}
+
+const guardedByDirective = "vs:guardedby"
+
+// guardedByArg extracts the argument of a //vs:guardedby(...) directive
+// from the field's doc or trailing comment. ok reports a directive was
+// present; a malformed directive returns arg "".
+func guardedByArg(groups ...*ast.CommentGroup) (arg string, pos token.Pos, ok bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, guardedByDirective) {
+				continue
+			}
+			rest := text[len(guardedByDirective):]
+			if !strings.HasPrefix(rest, "(") {
+				return "", c.Pos(), true
+			}
+			end := strings.IndexByte(rest, ')')
+			if end < 0 {
+				return "", c.Pos(), true
+			}
+			return strings.TrimSpace(rest[1:end]), c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}

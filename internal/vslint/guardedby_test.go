@@ -1,0 +1,248 @@
+package vslint
+
+import (
+	"strings"
+	"testing"
+)
+
+// counterFixture gives guard inference its witness: Inc writes Counter.n
+// with Counter.mu held, so n is inferred guarded-by mu.
+const counterFixture = `package seed
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+`
+
+// srcLine returns the 1-based line of the first source line containing
+// marker, so assertions survive fixture edits.
+func srcLine(t *testing.T, src, marker string) int {
+	t.Helper()
+	for i, l := range strings.Split(src, "\n") {
+		if strings.Contains(l, marker) {
+			return i + 1
+		}
+	}
+	t.Fatalf("marker %q not in fixture", marker)
+	return 0
+}
+
+func findingsOf(res *Result, analyzer string) []Finding {
+	var out []Finding
+	for _, f := range res.Findings {
+		if f.Analyzer == analyzer {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestGuardedByFlagsUnlockedAccessOnSpawnedGoroutine is the seeded-race
+// acceptance fixture: a field written under a mutex in one method, written
+// without it in a function that runs on a spawned goroutine.
+func TestGuardedByFlagsUnlockedAccessOnSpawnedGoroutine(t *testing.T) {
+	res := checkModuleSrc(t, counterFixture+`
+func (c *Counter) racyAdd() {
+	c.n++
+}
+
+func Spawn(c *Counter) {
+	go c.racyAdd()
+}
+`, Options{})
+	wantFinding(t, res.Findings, "guarded-by", "write of seed.Counter.n without holding seed.Counter.mu")
+	wantFinding(t, res.Findings, "guarded-by", "inferred from the guarded write at seed.go:12")
+	wantFinding(t, res.Findings, "guarded-by", "runs on the goroutine spawned at")
+	wantFinding(t, res.Findings, "guarded-by", "racyAdd")
+}
+
+// TestGuardedByIsPathSensitive: the same field accessed twice in one
+// function — inside the critical section (clean) and after the Unlock
+// (flagged). The lockset must distinguish the two program points.
+func TestGuardedByIsPathSensitive(t *testing.T) {
+	src := counterFixture + `
+func (c *Counter) flush() {
+	c.mu.Lock()
+	c.n = 0
+	c.mu.Unlock()
+	c.n++ // after unlock
+}
+
+func SpawnFlush(c *Counter) {
+	go c.flush()
+}
+`
+	res := checkModuleSrc(t, src, Options{})
+	got := findingsOf(res, "guarded-by")
+	if len(got) != 1 {
+		t.Fatalf("want exactly 1 guarded-by finding, got %d:\n%s", len(got), renderFindings(got))
+	}
+	if want := srcLine(t, src, "after unlock"); got[0].Pos.Line != want {
+		t.Errorf("finding at line %d, want the post-unlock write at line %d", got[0].Pos.Line, want)
+	}
+}
+
+// TestGuardedByHoldsAcrossDeferredUnlock: Lock + defer Unlock keeps the
+// lock held to the end of the function, so accesses after the defer are
+// clean even in goroutine-reachable code.
+func TestGuardedByHoldsAcrossDeferredUnlock(t *testing.T) {
+	res := checkModuleSrc(t, counterFixture+`
+func (c *Counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func SpawnGet(c *Counter) {
+	go func() { _ = c.get() }()
+}
+`, Options{})
+	wantNoFinding(t, res.Findings, "guarded-by")
+}
+
+// TestGuardedByPinWithoutInference: //vs:guardedby(mu) declares the guard
+// even when no write under lock exists to infer it from.
+func TestGuardedByPinWithoutInference(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	v  int //vs:guardedby(mu)
+}
+
+func peek(b *Box) int {
+	return b.v
+}
+
+func Spawn(b *Box) {
+	go func() { _ = peek(b) }()
+}
+`, Options{})
+	wantFinding(t, res.Findings, "guarded-by", "read of seed.Box.v without holding seed.Box.mu")
+	wantFinding(t, res.Findings, "guarded-by", "pinned by //vs:guardedby")
+}
+
+// TestGuardedByOptOut: //vs:guardedby(none) silences inference for a field
+// that is deliberately accessed without the sibling mutex.
+func TestGuardedByOptOut(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	v  int //vs:guardedby(none)
+}
+
+func (b *Box) set() {
+	b.mu.Lock()
+	b.v = 1
+	b.mu.Unlock()
+}
+
+func racy(b *Box) {
+	b.v = 2
+}
+
+func Spawn(b *Box) {
+	go racy(b)
+}
+`, Options{})
+	wantNoFinding(t, res.Findings, "guarded-by")
+}
+
+// TestGuardedByOwnedLocalExempt: writes through a fresh, non-escaping
+// local are construction, not sharing.
+func TestGuardedByOwnedLocalExempt(t *testing.T) {
+	res := checkModuleSrc(t, counterFixture+`
+func build() {
+	c := &Counter{}
+	c.n = 7
+	c.Inc()
+}
+
+func Spawn() {
+	go build()
+}
+`, Options{})
+	wantNoFinding(t, res.Findings, "guarded-by")
+}
+
+// TestGuardedByNolintSuppression is the suppressed-negative case: the same
+// seeded race as the positive fixture, silenced by an inline //vs:nolint.
+func TestGuardedByNolintSuppression(t *testing.T) {
+	res := checkModuleSrc(t, counterFixture+`
+func (c *Counter) racyAdd() {
+	c.n++ //vs:nolint(guarded-by) approximate stats counter, torn updates acceptable
+}
+
+func Spawn(c *Counter) {
+	go c.racyAdd()
+}
+`, Options{})
+	wantNoFinding(t, res.Findings, "guarded-by")
+}
+
+// TestGuardedByConfigErrors: a pin naming a missing mutex field, a pin on
+// a struct with no mutex at all, and a bare //vs:guardedby are all
+// configuration mistakes worth their own findings.
+func TestGuardedByConfigErrors(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	v  int //vs:guardedby(lock)
+}
+
+type B struct {
+	v int //vs:guardedby(mu)
+}
+
+type C struct {
+	mu sync.Mutex
+	w  int //vs:guardedby
+}
+`, Options{})
+	wantFinding(t, res.Findings, "guarded-by", `seed.A has no sync.Mutex/RWMutex field named "lock"`)
+	wantFinding(t, res.Findings, "guarded-by", "seed.B has no sync.Mutex/RWMutex field")
+	wantFinding(t, res.Findings, "guarded-by", "malformed //vs:guardedby")
+}
+
+// TestGuardedByLocksetPropagatesThroughCalls: the access sits two calls
+// below the Lock — the entry-lockset propagation must carry the held mutex
+// down the chain so no finding fires.
+func TestGuardedByLocksetPropagatesThroughCalls(t *testing.T) {
+	res := checkModuleSrc(t, counterFixture+`
+func (c *Counter) locked() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.step()
+}
+
+func (c *Counter) step() {
+	c.bump()
+}
+
+func (c *Counter) bump() {
+	c.n++
+}
+
+func Spawn(c *Counter) {
+	go c.locked()
+}
+`, Options{})
+	wantNoFinding(t, res.Findings, "guarded-by")
+}

@@ -76,7 +76,10 @@ func (mp *ModulePass) Reportf(pos token.Pos, approx bool, format string, args ..
 // per-package counterparts: they are upgrades, and -interproc swaps them
 // in (so existing //vs:nolint suppressions keep working).
 func AllInterproc() []*ModuleAnalyzer {
-	return []*ModuleAnalyzer{LockOrder, ResourceBalanceInterproc, CtxChains, HotpathClosure}
+	return []*ModuleAnalyzer{
+		LockOrder, ResourceBalanceInterproc, CtxChains, HotpathClosure,
+		GuardedBy, AtomicConsistency, ChannelHygiene,
+	}
 }
 
 // Options configures one CheckModule run.
@@ -91,6 +94,14 @@ type Options struct {
 	// SummaryCachePath persists function summaries keyed by package hash;
 	// empty disables the cache.
 	SummaryCachePath string
+	// NolintAudit reports stale //vs:nolint directives — suppressions
+	// that no finding hits in any supported analysis mode (the
+	// interprocedural run AND a plain per-package replay, since some
+	// per-package rules stand down when their interprocedural upgrade
+	// runs) — so a suppression cannot outlive the code it excused. Only
+	// meaningful with Interproc (otherwise directives naming module
+	// analyzers would look stale by construction).
+	NolintAudit bool
 }
 
 // AnalyzerTiming is the cumulative wall time of one analyzer across the
@@ -187,7 +198,7 @@ func CheckModule(mod *Module, pkgs []*Package, opts Options) (*Result, error) {
 	// Module-wide suppressions: a //vs:nolint in any package applies, so a
 	// justified suppression in internal/exec silences the interprocedural
 	// finding reported there.
-	sup := &suppressions{byLine: map[string]map[int]*nolintSet{}}
+	sup := &suppressions{byLine: map[string]map[int][]*nolintSet{}}
 	for _, pkg := range mod.Pkgs {
 		mergeSuppressions(sup, collectSuppressions(pkg))
 	}
@@ -200,6 +211,35 @@ func CheckModule(mod *Module, pkgs []*Package, opts Options) (*Result, error) {
 	for _, f := range raw {
 		if !sup.suppressed(f) {
 			out = append(out, f)
+		}
+	}
+	if opts.NolintAudit {
+		// A directive is stale only if NO supported analysis mode needs
+		// it. Some per-package rules stand down when their interprocedural
+		// upgrade runs (ctx-propagation's spawn rule, resource-balance),
+		// yet plain `vslint ./...` and CheckPackage still rely on the
+		// suppression — so replay the non-interproc findings purely to
+		// credit the directives they hit before computing staleness.
+		for _, pkg := range pkgs {
+			pass := &Pass{
+				Fset:  pkg.Fset,
+				Files: pkg.Files,
+				Pkg:   pkg.Types,
+				Info:  pkg.Info,
+			}
+			pass.report = func(f Finding) { sup.suppressed(f) }
+			for _, a := range All() {
+				pass.analyzer = a.Name
+				a.Run(pass)
+			}
+		}
+		// Only directives inside the matched packages: findings outside
+		// the match set were dropped before suppression, so their
+		// directives would look stale for the wrong reason.
+		for _, f := range sup.stale() {
+			if matchedFinding(pkgs, f) {
+				out = append(out, f)
+			}
 		}
 	}
 	res.Findings = dedupeFindings(sortFindings(out))
@@ -229,10 +269,16 @@ func matchedFinding(pkgs []*Package, f Finding) bool {
 
 func mergeSuppressions(dst, src *suppressions) {
 	for file, lines := range src.byLine {
-		for line, set := range lines {
-			dst.add(file, line, set)
+		m, ok := dst.byLine[file]
+		if !ok {
+			m = map[int][]*nolintSet{}
+			dst.byLine[file] = m
+		}
+		for line, sets := range lines {
+			m[line] = append(m[line], sets...)
 		}
 	}
+	dst.dirs = append(dst.dirs, src.dirs...)
 	dst.findings = append(dst.findings, src.findings...)
 }
 

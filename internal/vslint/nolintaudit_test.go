@@ -1,0 +1,59 @@
+package vslint
+
+import "testing"
+
+// TestNolintAuditFlagsStaleDirective: a //vs:nolint that no finding ever
+// hits is stale; one that suppresses a live finding is not.
+func TestNolintAuditFlagsStaleDirective(t *testing.T) {
+	src := `package seed
+
+func produce(ch chan int) {
+	ch <- 1 //vs:nolint(channel-hygiene) capacity reserved by the caller
+}
+
+func harmless() int {
+	return 1 //vs:nolint(channel-hygiene) nothing ever fired here
+}
+
+func Spawn(ch chan int) {
+	go produce(ch)
+}
+`
+	res := checkModuleSrc(t, src, Options{NolintAudit: true})
+	stale := findingsOf(res, "nolint-audit")
+	if len(stale) != 1 {
+		t.Fatalf("want exactly 1 stale directive, got %d:\n%s", len(stale), renderFindings(stale))
+	}
+	if want := srcLine(t, src, "nothing ever fired here"); stale[0].Pos.Line != want {
+		t.Errorf("stale finding at line %d, want %d", stale[0].Pos.Line, want)
+	}
+	wantFinding(t, res.Findings, "nolint-audit", "stale //vs:nolint")
+	// The suppression itself still works: no channel-hygiene finding.
+	wantNoFinding(t, res.Findings, "channel-hygiene")
+}
+
+// TestNolintAuditOffByDefault: without the option, the same stale
+// directive stays silent (audit is opt-in for CI).
+func TestNolintAuditOffByDefault(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+func harmless() int {
+	return 1 //vs:nolint(channel-hygiene) nothing ever fired here
+}
+`, Options{})
+	wantNoFinding(t, res.Findings, "nolint-audit")
+}
+
+// TestNolintAuditSkipsContractViolations: a directive that already drew a
+// contract finding (unknown analyzer name) is a different mistake, not a
+// stale suppression — it must not be reported twice.
+func TestNolintAuditSkipsContractViolations(t *testing.T) {
+	res := checkModuleSrc(t, `package seed
+
+func harmless() int {
+	return 1 //vs:nolint(no-such-analyzer) misspelled on purpose
+}
+`, Options{NolintAudit: true})
+	wantFinding(t, res.Findings, "nolint", `unknown analyzer "no-such-analyzer"`)
+	wantNoFinding(t, res.Findings, "nolint-audit")
+}

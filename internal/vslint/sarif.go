@@ -1,0 +1,160 @@
+package vslint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SARIF 2.1.0 emission (`vslint -format sarif`), hand-rolled on
+// encoding/json: one run, one tool driver, one rule per analyzer name
+// appearing in the findings, one result per finding. CI uploads the log to
+// GitHub code scanning, which wants artifact URIs relative to the
+// repository root with forward slashes — WriteSARIF relativizes against
+// the root it is given and leaves unrelated absolute paths untouched.
+
+const (
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders findings as one SARIF 2.1.0 run, with file paths
+// relative to root (module root in practice).
+func WriteSARIF(w io.Writer, findings []Finding, root string) error {
+	rules, index := sarifRules(findings)
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		level := "warning"
+		switch f.Severity {
+		case SeverityError:
+			level = "error"
+		case SeverityInfo:
+			level = "note"
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: index[f.Analyzer],
+			Level:     level,
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: sarifURI(f.Pos.Filename, root)},
+					Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "vslint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifRules builds the driver's rule table from the analyzers present in
+// the findings (including "+"-merged composites, which get a synthetic
+// rule), sorted for deterministic output.
+func sarifRules(findings []Finding) ([]sarifRule, map[string]int) {
+	docs := map[string]string{}
+	for _, a := range All() {
+		docs[a.Name] = a.Doc
+	}
+	for _, a := range AllInterproc() {
+		docs[a.Name] = a.Doc
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, f := range findings {
+		if !seen[f.Analyzer] {
+			seen[f.Analyzer] = true
+			names = append(names, f.Analyzer)
+		}
+	}
+	sort.Strings(names)
+	rules := make([]sarifRule, 0, len(names))
+	index := make(map[string]int, len(names))
+	for i, name := range names {
+		doc := docs[name]
+		if doc == "" {
+			doc = "vslint analyzer " + name
+		}
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifMessage{Text: doc}})
+		index[name] = i
+	}
+	return rules, index
+}
+
+// sarifURI relativizes filename against root using forward slashes; paths
+// outside root (or unrelatable to it) pass through slash-converted.
+func sarifURI(filename, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}

@@ -1,0 +1,225 @@
+package vslint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// sarifFixtureFindings is a stable finding set exercising every level
+// mapping, rule deduplication, and path relativization.
+func sarifFixtureFindings() []Finding {
+	return []Finding{
+		{
+			Analyzer: "guarded-by",
+			Pos:      token.Position{Filename: "/mod/internal/exec/exec.go", Line: 42, Column: 3},
+			Message:  "write of repro.Counter.n without holding repro.Counter.mu",
+			Severity: SeverityError,
+		},
+		{
+			Analyzer: "channel-hygiene",
+			Pos:      token.Position{Filename: "/mod/cmd/vstop/main.go", Line: 66, Column: 8},
+			Message:  "send on cmds in goroutine-spawned code without a select cancellation arm",
+			Severity: SeverityError,
+		},
+		{
+			Analyzer: "guarded-by",
+			Pos:      token.Position{Filename: "/elsewhere/out.go", Line: 1, Column: 1},
+			Message:  "read of x without holding mu",
+			Severity: SeverityInfo,
+			Approx:   true,
+		},
+	}
+}
+
+const sarifGolden = `{
+  "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "vslint",
+          "rules": [
+            {
+              "id": "channel-hygiene",
+              "shortDescription": {
+                "text": "channel sends/receives on spawned goroutines must have a cancellation arm, an owner close, or function-local lifetime"
+              }
+            },
+            {
+              "id": "guarded-by",
+              "shortDescription": {
+                "text": "a field written under a mutex (or pinned with //vs:guardedby) must hold that mutex at every goroutine-reachable access"
+              }
+            }
+          ]
+        }
+      },
+      "results": [
+        {
+          "ruleId": "guarded-by",
+          "ruleIndex": 1,
+          "level": "error",
+          "message": {
+            "text": "write of repro.Counter.n without holding repro.Counter.mu"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "internal/exec/exec.go"
+                },
+                "region": {
+                  "startLine": 42,
+                  "startColumn": 3
+                }
+              }
+            }
+          ]
+        },
+        {
+          "ruleId": "channel-hygiene",
+          "ruleIndex": 0,
+          "level": "error",
+          "message": {
+            "text": "send on cmds in goroutine-spawned code without a select cancellation arm"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "cmd/vstop/main.go"
+                },
+                "region": {
+                  "startLine": 66,
+                  "startColumn": 8
+                }
+              }
+            }
+          ]
+        },
+        {
+          "ruleId": "guarded-by",
+          "ruleIndex": 1,
+          "level": "note",
+          "message": {
+            "text": "read of x without holding mu"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "/elsewhere/out.go"
+                },
+                "region": {
+                  "startLine": 1,
+                  "startColumn": 1
+                }
+              }
+            }
+          ]
+        }
+      ]
+    }
+  ]
+}
+`
+
+// TestWriteSARIFGolden pins the exact emitted document: schema URL,
+// version, sorted rule table, rule indices, level mapping (error -> error,
+// info -> note), and root-relative forward-slash URIs with out-of-root
+// paths passed through.
+func TestWriteSARIFGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sarifFixtureFindings(), "/mod"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	if got := buf.String(); got != sarifGolden {
+		t.Errorf("SARIF output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, sarifGolden)
+	}
+}
+
+// TestWriteSARIFStructure re-parses the emitted log and checks the
+// invariants GitHub code scanning relies on, independent of formatting.
+func TestWriteSARIFStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sarifFixtureFindings(), "/mod"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || !strings.Contains(doc.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version %q schema %q, want 2.1.0", doc.Version, doc.Schema)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("want 1 run, got %d", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "vslint" {
+		t.Errorf("driver name %q", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("want 3 results, got %d", len(run.Results))
+	}
+	for i, r := range run.Results {
+		if r.RuleIndex < 0 || r.RuleIndex >= len(run.Tool.Driver.Rules) {
+			t.Errorf("result %d: ruleIndex %d out of range", i, r.RuleIndex)
+			continue
+		}
+		if got := run.Tool.Driver.Rules[r.RuleIndex].ID; got != r.RuleID {
+			t.Errorf("result %d: ruleIndex %d resolves to %q, ruleId says %q", i, r.RuleIndex, got, r.RuleID)
+		}
+		if len(r.Locations) != 1 || r.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("result %d: missing physical location", i)
+		}
+		if uri := r.Locations[0].PhysicalLocation.ArtifactLocation.URI; strings.Contains(uri, "\\") {
+			t.Errorf("result %d: URI %q not slash-normalized", i, uri)
+		}
+	}
+}
+
+// TestWriteSARIFEmpty: no findings still yields a valid log with an empty
+// (non-null) results array — scanning uploads rely on that to clear old
+// alerts.
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil, "/mod"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Errorf("empty findings must emit \"results\": [], got:\n%s", buf.String())
+	}
+}

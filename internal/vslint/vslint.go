@@ -233,10 +233,21 @@ func hasDirective(cg *ast.CommentGroup, directive string) bool {
 	return false
 }
 
-// nolintSet is the set of analyzers suppressed at one source line; a nil
-// names map suppresses every analyzer.
+// nolintDir is one //vs:nolint comment in the source. The audit
+// (`-nolint-audit`) reports directives that never suppressed a finding:
+// usage is marked when any finding hits a line the directive covers.
+// Line-scoped and function-scoped coverage of the same comment share one
+// record, so firing through either counts.
+type nolintDir struct {
+	pos  token.Position
+	used bool
+}
+
+// nolintSet is the set of analyzers one directive suppresses over one
+// coverage range; a nil names map suppresses every analyzer.
 type nolintSet struct {
 	names map[string]bool
+	dir   *nolintDir
 }
 
 func (s *nolintSet) covers(analyzer string) bool {
@@ -244,38 +255,53 @@ func (s *nolintSet) covers(analyzer string) bool {
 }
 
 type suppressions struct {
-	// byLine maps filename → line → suppression.
-	byLine map[string]map[int]*nolintSet
+	// byLine maps filename → line → every suppression covering that line.
+	byLine map[string]map[int][]*nolintSet
+	// dirs lists every directive, for the staleness audit.
+	dirs []*nolintDir
 	// findings holds violations of the nolint contract itself (missing
 	// justification, unknown analyzer name).
 	findings []Finding
 }
 
+// suppressed reports whether f is covered, marking every covering
+// directive used (overlapping directives all earn their keep).
 func (s *suppressions) suppressed(f Finding) bool {
-	if set, ok := s.byLine[f.Pos.Filename][f.Pos.Line]; ok && set.covers(f.Analyzer) {
-		return true
+	hit := false
+	for _, set := range s.byLine[f.Pos.Filename][f.Pos.Line] {
+		if set.covers(f.Analyzer) {
+			hit = true
+			if set.dir != nil {
+				set.dir.used = true
+			}
+		}
 	}
-	return false
+	return hit
+}
+
+// stale returns one finding per directive no finding ever hit.
+func (s *suppressions) stale() []Finding {
+	var out []Finding
+	for _, d := range s.dirs {
+		if !d.used {
+			out = append(out, Finding{
+				Analyzer: "nolint-audit",
+				Pos:      d.pos,
+				Message:  "stale //vs:nolint: the finding it suppressed no longer fires here; remove the directive",
+				Severity: SeverityError,
+			})
+		}
+	}
+	return out
 }
 
 func (s *suppressions) add(filename string, line int, set *nolintSet) {
 	m, ok := s.byLine[filename]
 	if !ok {
-		m = map[int]*nolintSet{}
+		m = map[int][]*nolintSet{}
 		s.byLine[filename] = m
 	}
-	if prev, ok := m[line]; ok {
-		// Merge: an all-suppression absorbs named ones.
-		if prev.names == nil || set.names == nil {
-			m[line] = &nolintSet{}
-			return
-		}
-		for n := range set.names {
-			prev.names[n] = true
-		}
-		return
-	}
-	m[line] = set
+	m[line] = append(m[line], set)
 }
 
 // collectSuppressions scans every comment of the package for //vs:nolint
@@ -284,7 +310,7 @@ func (s *suppressions) add(filename string, line int, set *nolintSet) {
 // preceding placement); a directive in a function's doc comment suppresses
 // the whole function.
 func collectSuppressions(pkg *Package) *suppressions {
-	sup := &suppressions{byLine: map[string]map[int]*nolintSet{}}
+	sup := &suppressions{byLine: map[string]map[int][]*nolintSet{}}
 	known := map[string]bool{}
 	for _, a := range All() {
 		known[a.Name] = true
@@ -292,12 +318,32 @@ func collectSuppressions(pkg *Package) *suppressions {
 	for _, a := range AllInterproc() {
 		known[a.Name] = true
 	}
+	// One directive record per source comment, shared between the
+	// line-scoped and function-scoped coverage of that comment.
+	dirs := map[token.Pos]*nolintDir{}
+	dirFor := func(c *ast.Comment) *nolintDir {
+		if d, ok := dirs[c.Pos()]; ok {
+			return d
+		}
+		d := &nolintDir{pos: pkg.Fset.Position(c.Pos())}
+		dirs[c.Pos()] = d
+		sup.dirs = append(sup.dirs, d)
+		return d
+	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				before := len(sup.findings)
 				set, ok := parseNolint(pkg, sup, known, c)
 				if !ok {
 					continue
+				}
+				set.dir = dirFor(c)
+				if len(sup.findings) > before {
+					// A directive that already drew a contract finding
+					// (unjustified, unknown name) is not additionally
+					// reported as stale.
+					set.dir.used = true
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				end := pkg.Fset.Position(c.End())
@@ -313,15 +359,17 @@ func collectSuppressions(pkg *Package) *suppressions {
 				continue
 			}
 			var set *nolintSet
+			var src *ast.Comment
 			for _, c := range fd.Doc.List {
 				if s, ok := parseNolint(pkg, nil, known, c); ok {
-					set = s
+					set, src = s, c
 					break
 				}
 			}
 			if set == nil {
 				continue
 			}
+			set.dir = dirFor(src)
 			start := pkg.Fset.Position(fd.Pos())
 			end := pkg.Fset.Position(fd.End())
 			for line := start.Line; line <= end.Line; line++ {

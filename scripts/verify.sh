@@ -32,15 +32,19 @@ fi
 step "go vet ./..."
 go vet ./...
 
-step "vslint -interproc (hot-path, concurrency, and whole-program invariants)"
+step "vslint -interproc -nolint-audit (hot-path, concurrency, and whole-program invariants)"
 # ./... matches every package, including internal/vslint and cmd/vslint —
-# the linter self-lints. With BENCH_OUT set, the whole-program call graph
-# lands next to the findings JSON for the CI artifact upload.
+# the linter self-lints. -nolint-audit additionally fails the gate on any
+# //vs:nolint directive that no longer suppresses a finding, so stale
+# justifications cannot accumulate. With BENCH_OUT set, the whole-program
+# call graph and a SARIF log land next to the findings JSON for the CI
+# artifact upload / code-scanning import.
 if [ -n "${BENCH_OUT:-}" ]; then
     mkdir -p "$BENCH_OUT"
-    go run ./cmd/vslint -interproc -callgraph-dot "$BENCH_OUT/callgraph.dot" ./...
+    go run ./cmd/vslint -interproc -nolint-audit -callgraph-dot "$BENCH_OUT/callgraph.dot" ./...
+    go run ./cmd/vslint -interproc -nolint-audit -format sarif ./... > "$BENCH_OUT/vslint.sarif"
 else
-    go run ./cmd/vslint -interproc ./...
+    go run ./cmd/vslint -interproc -nolint-audit ./...
 fi
 
 if [ -z "${SKIP_COMPILER_LINT:-}" ]; then
